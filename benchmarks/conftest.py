@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark consumes the same full-study sweep (all 11
+workloads x 3 configurations at the Table II scale).  The sweep is
+computed once and cached on disk in ``.repro_cache`` — the first run
+takes a minute or two, later runs are instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.experiment import FlowSettings
+from repro.flow.sweep import SweepRunner
+from repro.uarch.config import ALL_CONFIGS
+
+#: The study scale: Table II divided by 1000 (see DESIGN.md).
+STUDY_SETTINGS = FlowSettings(scale=1.0)
+
+#: Paper values (suite averages, mW) transcribed from §IV-B for the
+#: shape comparison columns of every figure bench.
+PAPER_COMPONENT_MW = {
+    "MediumBOOM": {
+        "branch_predictor": 3.34, "int_regfile": 0.27, "int_issue": 0.83,
+        "dcache": 1.13, "int_rename": 0.95, "fp_rename": 0.60,
+        "lsu": 0.84, "rob": 0.61, "mem_issue": 0.26, "fp_regfile": 0.05,
+        "icache": 0.36, "fp_issue": 0.17, "fetch_buffer": 0.22,
+    },
+    "LargeBOOM": {
+        "branch_predictor": 7.00, "int_regfile": 0.72, "int_issue": 2.08,
+        "dcache": 2.24, "int_rename": 1.57, "fp_rename": 1.29,
+        "lsu": 1.30, "rob": 1.08, "mem_issue": 0.62, "fp_regfile": 0.08,
+        "icache": 1.06, "fp_issue": 0.39, "fetch_buffer": 0.31,
+    },
+    "MegaBOOM": {
+        "branch_predictor": 7.60, "int_regfile": 4.83, "int_issue": 4.40,
+        "dcache": 4.34, "int_rename": 2.50, "fp_rename": 2.16,
+        "lsu": 2.20, "rob": 1.57, "mem_issue": 1.30, "fp_regfile": 1.18,
+        "icache": 1.06, "fp_issue": 0.74, "fetch_buffer": 0.36,
+    },
+}
+
+PAPER_ANALYZED_SHARE = {"MediumBOOM": 0.73, "LargeBOOM": 0.81,
+                        "MegaBOOM": 0.85}
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    return SweepRunner(STUDY_SETTINGS, cache_dir=".repro_cache")
+
+
+@pytest.fixture(scope="session")
+def sweep_results(runner):
+    """The full study: every workload on every configuration."""
+    return runner.run_all()
+
+
+@pytest.fixture(scope="session")
+def gshare_results(runner):
+    """The gshare-ablation sweep (Key Takeaway #7)."""
+    configs = tuple(c.with_predictor("gshare") for c in ALL_CONFIGS)
+    return runner.run_all(configs=configs)

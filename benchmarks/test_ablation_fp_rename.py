@@ -1,0 +1,53 @@
+"""Ablation (Key Takeaway #3): lazy FP allocation-list snapshots.
+
+The takeaway identifies the FP Rename Unit's branch-snapshot traffic as a
+redesign opportunity: "minimizing the constant register writing when no
+floating-point instructions are executed".  This bench implements exactly
+that (snapshot the FP unit only while FP instructions are in flight) and
+measures the saving on integer code vs the cost on FP code.
+"""
+
+from repro.flow.experiment import FlowSettings, run_experiment
+from repro.uarch.config import MEGA_BOOM
+
+SETTINGS = FlowSettings(scale=0.5)
+
+
+def test_lazy_fp_snapshots(benchmark):
+    lazy_config = MEGA_BOOM.with_lazy_fp_snapshots()
+
+    def sweep():
+        out = {}
+        for workload in ("sha", "dijkstra", "fft", "qsort"):
+            baseline = run_experiment(workload, MEGA_BOOM,
+                                      settings=SETTINGS)
+            lazy = run_experiment(workload, lazy_config, settings=SETTINGS)
+            out[workload] = (baseline, lazy)
+        return out
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\n=== Ablation: lazy FP rename snapshots (MegaBOOM) ===")
+    print(f"{'workload':<12}{'fpRen mW':>10}{'lazy mW':>9}{'saving':>9}"
+          f"{'IPC delta':>11}")
+    for workload, (baseline, lazy) in results.items():
+        base_power = baseline.component_mw("fp_rename")
+        lazy_power = lazy.component_mw("fp_rename")
+        saving = 1.0 - lazy_power / base_power
+        ipc_delta = lazy.ipc / baseline.ipc - 1.0
+        print(f"{workload:<12}{base_power:>10.3f}{lazy_power:>9.3f}"
+              f"{saving:>8.1%}{ipc_delta:>+11.2%}")
+        # The optimization never costs performance (it is power-only).
+        assert abs(ipc_delta) < 0.02, workload
+    # The saving tracks branch density: dijkstra (a branch every few
+    # instructions) saves the most; sha (one branch per unrolled block)
+    # saves little beyond the clock floor.
+    baseline, lazy = results["dijkstra"]
+    assert lazy.component_mw("fp_rename") < \
+        0.75 * baseline.component_mw("fp_rename")
+    baseline, lazy = results["sha"]
+    assert lazy.component_mw("fp_rename") < \
+        0.97 * baseline.component_mw("fp_rename")
+    # FP workloads keep their (necessary) snapshot power.
+    baseline, lazy = results["fft"]
+    assert lazy.component_mw("fp_rename") > \
+        0.9 * baseline.component_mw("fp_rename")

@@ -1,0 +1,25 @@
+"""Fig. 9: analyzed-component share of tile power per configuration.
+
+Paper values: 73 % (Medium), 81 % (Large), 85 % (Mega) — the share grows
+with aggressiveness because the 13 analyzed components are the ones whose
+sizes scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_ANALYZED_SHARE
+from repro.analysis.figures import fig9_component_share
+
+
+def test_fig9_component_share(benchmark, sweep_results):
+    shares = benchmark(fig9_component_share, sweep_results)
+    print("\n=== Fig. 9: analyzed-component share of tile power ===")
+    print(f"{'config':<14}{'measured':>10}{'paper':>8}")
+    for config, share in shares.items():
+        print(f"{config:<14}{share:>10.1%}"
+              f"{PAPER_ANALYZED_SHARE[config]:>8.0%}")
+    # Monotonic growth with aggressiveness.
+    assert shares["MediumBOOM"] < shares["LargeBOOM"] < shares["MegaBOOM"]
+    # Absolute values within 5 points of the paper.
+    for config, paper in PAPER_ANALYZED_SHARE.items():
+        assert shares[config] == pytest.approx(paper, abs=0.05)

@@ -1,0 +1,78 @@
+"""Throughput micro-benchmarks of the simulation substrates.
+
+These are the performance numbers that make the methodology practical:
+functional-simulator instruction rate, detailed-core cycle rate, BBV
+profiling overhead, and SimPoint clustering time.
+"""
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.profiling.bbv import BBVProfiler
+from repro.sim.executor import Executor
+from repro.simpoint.kmeans import kmeans
+from repro.uarch.config import MEGA_BOOM
+from repro.uarch.core import BoomCore
+from repro.workloads.suite import build_program
+
+LOOP = """
+_start:
+    li t0, 200000
+loop:
+    addi t0, t0, -1
+    xor  t1, t1, t0
+    add  t2, t2, t1
+    slli t3, t2, 3
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def test_functional_simulator_throughput(benchmark):
+    program = assemble(LOOP)
+
+    def run():
+        executor = Executor(program)
+        executor.run_to_completion()
+        return executor.state.retired
+
+    retired = benchmark(run)
+    assert retired > 1_000_000
+
+
+def test_bbv_profiling_throughput(benchmark):
+    program = assemble(LOOP)
+
+    def run():
+        return BBVProfiler(interval_size=10_000).profile(program)
+
+    profile = benchmark(run)
+    assert profile.total_instructions > 1_000_000
+
+
+def test_detailed_core_throughput(benchmark):
+    program = build_program("sha", scale=1.0)
+
+    def run():
+        core = BoomCore(MEGA_BOOM, program)
+        return core.run(20_000)
+
+    retired = benchmark(run)
+    assert retired >= 20_000
+
+
+def test_kmeans_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    data = rng.uniform(size=(600, 15))
+    result = benchmark(kmeans, data, 8, None, 3)
+    assert result.k == 8
+
+
+def test_workload_generation_throughput(benchmark):
+    from repro.workloads.suite import get_workload
+
+    builder = get_workload("dijkstra").builder
+    source = benchmark(builder, 1.0, 99)
+    assert "min_scan" in source

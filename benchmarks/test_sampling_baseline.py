@@ -1,0 +1,83 @@
+"""Methodology baseline: SimPoint vs naive sampling at equal budget.
+
+SimPoint's pitch (and the reason the paper adopts it) is that phase-aware
+selection represents the program better than naive sampling.  This bench
+measures the IPC-estimation error of three policies — SimPoint, periodic
+(SMARTS-style), and random — against full detailed simulation at the
+*same* interval budget.
+
+Finding (recorded in EXPERIMENTS.md): at this reproduction's 1:1000 scale,
+where intervals are only ~500-1000 instructions, all three policies land
+in the same error band and naive sampling is competitive — the
+within-cluster IPC variance of such short intervals (not warm-up, which
+we swept) limits SimPoint's representative accuracy.  What SimPoint
+uniquely retains is the *guarantee* structure: phase identification,
+weighted coverage >= 90 %, and graceful behaviour on phase-imbalanced
+programs.  At the paper's 1M-instruction intervals the variance term
+shrinks by three orders of magnitude.
+"""
+
+from statistics import mean
+
+from repro.analysis.validation import full_detailed_ipc
+from repro.flow.experiment import (
+    FlowSettings,
+    profile_and_select,
+    run_experiment,
+    run_selection,
+)
+from repro.simpoint.sampling import periodic_selection, random_selection
+from repro.uarch.config import MEDIUM_BOOM
+
+SETTINGS = FlowSettings(scale=0.5)
+WORKLOADS = ("bitcount", "basicmath", "sha")
+
+
+def _errors_for(workload):
+    profile, simpoint_sel = profile_and_select(workload, SETTINGS)
+    budget = len(simpoint_sel.top_points())
+    truth = full_detailed_ipc(workload, MEDIUM_BOOM, SETTINGS)
+
+    simpoint = run_experiment(workload, MEDIUM_BOOM, settings=SETTINGS)
+    periodic = run_selection(workload, MEDIUM_BOOM,
+                             periodic_selection(profile, budget), SETTINGS)
+    random = run_selection(workload, MEDIUM_BOOM,
+                           random_selection(profile, budget,
+                                            seed=SETTINGS.seed), SETTINGS)
+
+    def error(result):
+        return abs(result.ipc - truth) / truth
+
+    return budget, truth, {
+        "simpoint": error(simpoint),
+        "periodic": error(periodic),
+        "random": error(random),
+    }
+
+
+def test_simpoint_vs_naive_sampling(benchmark):
+    def sweep():
+        return {w: _errors_for(w) for w in WORKLOADS}
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\n=== IPC-estimation error at equal interval budget ===")
+    print(f"{'workload':<12}{'budget':>7}{'truth':>7}{'simpoint':>10}"
+          f"{'periodic':>10}{'random':>9}")
+    means = {}
+    for policy in ("simpoint", "periodic", "random"):
+        means[policy] = mean(results[w][2][policy] for w in WORKLOADS)
+    for workload, (budget, truth, errors) in results.items():
+        print(f"{workload:<12}{budget:>7}{truth:>7.2f}"
+              f"{errors['simpoint']:>10.1%}{errors['periodic']:>10.1%}"
+              f"{errors['random']:>9.1%}")
+    print(f"{'MEAN':<12}{'':>7}{'':>7}{means['simpoint']:>10.1%}"
+          f"{means['periodic']:>10.1%}{means['random']:>9.1%}")
+    # All policies estimate within the same (scale-limited) error band.
+    assert means["simpoint"] < 0.20
+    assert means["periodic"] < 0.20
+    assert means["random"] < 0.20
+    # SimPoint's structural guarantee — weighted coverage — held for every
+    # workload (naive policies provide no such guarantee).
+    for workload in WORKLOADS:
+        result = run_experiment(workload, MEDIUM_BOOM, settings=SETTINGS)
+        assert result.coverage >= 0.9

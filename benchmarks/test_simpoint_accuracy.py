@@ -1,0 +1,45 @@
+"""SimPoint accuracy: estimated IPC vs. full detailed simulation.
+
+The paper claims >= 90 % coverage "ensures high accuracy" but never shows
+the error (it cannot: full RTL simulation of the suite would take
+months).  This reproduction's detailed core *can* simulate the entire
+scaled workloads, so the claim becomes measurable: for six benchmarks the
+SimPoint-weighted IPC is compared against ground truth.
+
+Expected shape: errors of a few percent up to ~20 % on workloads whose
+behaviour varies within identical BBVs (basicmath's data-dependent
+divider latencies are the classic SimPoint blind spot), with a mean
+around 10 % at our 1 k intervals — consistent with the SimPoint
+literature's accuracy-vs-interval-size trade-off.
+"""
+
+from statistics import mean
+
+from repro.analysis.validation import validate_simpoint_accuracy
+from repro.flow.experiment import FlowSettings
+from repro.uarch.config import MEDIUM_BOOM
+
+WORKLOADS = ("sha", "qsort", "basicmath", "stringsearch", "patricia",
+             "fft")
+SETTINGS = FlowSettings(scale=1.0)
+
+
+def test_simpoint_ipc_accuracy(benchmark):
+    def validate_all():
+        return [validate_simpoint_accuracy(w, MEDIUM_BOOM, SETTINGS)
+                for w in WORKLOADS]
+
+    reports = benchmark.pedantic(validate_all, iterations=1, rounds=1)
+    print("\n=== SimPoint accuracy vs full detailed simulation ===")
+    for report in reports:
+        print(report.format())
+    errors = [report.relative_error for report in reports]
+    print(f"mean error: {mean(errors):.1%}")
+    # Every estimate lands in the right ballpark...
+    assert all(error < 0.25 for error in errors)
+    # ...and the suite mean is high-accuracy territory.
+    assert mean(errors) < 0.15
+    # The estimate is never free: it must come with a real speedup.
+    assert all(report.speedup > 5.0 for report in reports)
+    # Coverage >= 90% everywhere (the paper's selection rule).
+    assert all(report.coverage >= 0.9 for report in reports)

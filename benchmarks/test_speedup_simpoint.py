@@ -1,0 +1,26 @@
+"""§IV-A: the SimPoint methodology's simulation-time reduction.
+
+The paper reports a 45x speedup over simulating every workload
+end-to-end at RTL.  Detailed-simulation cost is proportional to detailed
+instructions, so the ratio of total workload instructions to the warm-up
++ interval windows actually simulated reproduces the same accounting.
+"""
+
+from repro.flow.speedup import speedup_report
+from repro.workloads.suite import workload_names
+
+
+def test_simpoint_speedup(benchmark, sweep_results):
+    results = [sweep_results[(w, "MegaBOOM")] for w in workload_names()]
+    report = benchmark(speedup_report, results)
+    print("\n=== SimPoint simulation-time accounting (MegaBOOM) ===")
+    print(report.format_table())
+    print(f"paper: 45x, measured: {report.overall_speedup:.1f}x")
+    # The paper's headline: ~45x less detailed simulation.
+    assert 25.0 < report.overall_speedup < 80.0
+    # Every workload individually benefits.
+    for row in report.rows:
+        assert row.speedup > 4.0, row.workload
+    # The longest workload (tarfind) benefits the most in absolute terms.
+    by_full = max(report.rows, key=lambda r: r.full_instructions)
+    assert by_full.workload == "tarfind"

@@ -1,0 +1,32 @@
+"""Table II: benchmark instructions, interval sizes, SimPoint counts.
+
+Profiles every workload, runs SimPoint selection, and compares the
+measured row against the paper's (scaled 1:1000).  Shape targets:
+
+* dynamic instruction counts within 25 % of Table II / 1000,
+* a handful of top-ranked SimPoints per benchmark (paper: 1-3),
+* >= 90 % coverage everywhere (the paper's guarantee).
+"""
+
+from benchmarks.conftest import STUDY_SETTINGS
+from repro.analysis.tables import format_table_ii, table_ii
+
+
+def test_table2_simpoints(benchmark):
+    rows = benchmark.pedantic(table_ii, args=(STUDY_SETTINGS,),
+                              iterations=1, rounds=1)
+    print("\n=== Table II (measured at 1:1000 scale) ===")
+    print(format_table_ii(rows))
+    for row in rows:
+        deviation = abs(row.instructions - row.paper_instructions_scaled) \
+            / row.paper_instructions_scaled
+        assert deviation < 0.25, \
+            f"{row.benchmark}: {deviation:.0%} off Table II"
+        assert row.coverage >= 0.9, row.benchmark
+        assert 1 <= row.num_simpoints <= 8, row.benchmark
+    # Interval sizes follow the paper: 2k (scaled 2M) for patricia and
+    # tarfind, 1k (scaled 1M) for everything else.
+    intervals = {row.benchmark: row.interval for row in rows}
+    assert intervals["patricia"] == 2000
+    assert intervals["tarfind"] == 2000
+    assert intervals["sha"] == 1000

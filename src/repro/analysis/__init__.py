@@ -1,0 +1,78 @@
+"""Analysis: tables, figure series, takeaway checks, efficiency summaries."""
+
+from repro.analysis.compare import (
+    compare_sweeps,
+    format_comparison,
+    SweepComparison,
+    WorkloadDelta,
+)
+from repro.analysis.cpi_stack import (
+    cpi_stack,
+    dominant_bottleneck,
+    format_cpi_stack,
+)
+from repro.analysis.efficiency import EfficiencySummary, summarize
+from repro.analysis.validation import (
+    AccuracyReport,
+    full_detailed_ipc,
+    validate_simpoint_accuracy,
+)
+from repro.analysis.figures import (
+    COMPONENT_LABELS,
+    component_power_series,
+    fig10_ipc,
+    fig11_perf_per_watt,
+    fig5_medium,
+    fig6_large,
+    fig7_mega,
+    fig8_issue_slots,
+    fig9_component_share,
+    format_component_power,
+    format_fig8,
+    format_per_benchmark,
+)
+from repro.analysis.tables import (
+    format_table_ii,
+    table_i,
+    table_ii,
+    TableIIRow,
+)
+from repro.analysis.takeaways import (
+    check_all,
+    format_checks,
+    TakeawayCheck,
+)
+
+__all__ = [
+    "compare_sweeps",
+    "format_comparison",
+    "SweepComparison",
+    "WorkloadDelta",
+    "cpi_stack",
+    "dominant_bottleneck",
+    "format_cpi_stack",
+    "AccuracyReport",
+    "full_detailed_ipc",
+    "validate_simpoint_accuracy",
+    "EfficiencySummary",
+    "summarize",
+    "COMPONENT_LABELS",
+    "component_power_series",
+    "fig10_ipc",
+    "fig11_perf_per_watt",
+    "fig5_medium",
+    "fig6_large",
+    "fig7_mega",
+    "fig8_issue_slots",
+    "fig9_component_share",
+    "format_component_power",
+    "format_fig8",
+    "format_per_benchmark",
+    "format_table_ii",
+    "table_i",
+    "table_ii",
+    "TableIIRow",
+    "check_all",
+    "format_checks",
+    "TakeawayCheck",
+]

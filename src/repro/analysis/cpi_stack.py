@@ -1,0 +1,85 @@
+"""CPI stacks: where do the cycles go?
+
+Classic workload-characterization companion to the paper's power
+breakdown: decompose measured cycles-per-instruction into a base
+(issue-width-limited) term plus stall contributions attributed from the
+cycle model's event counters.  The attribution is the standard
+first-order one — penalties multiply event counts — so components sum to
+approximately the measured CPI (a ``residual`` term absorbs overlap).
+
+Example::
+
+    stack = cpi_stack(stats, MEGA_BOOM)
+    print(format_cpi_stack(stack))
+"""
+
+from __future__ import annotations
+
+from repro.uarch.cache import DEFAULT_MISS_PENALTY
+from repro.uarch.config import BoomConfig
+from repro.uarch.frontend import REDIRECT_PENALTY
+from repro.uarch.stats import CoreStats
+
+#: stack component order for rendering
+STACK_COMPONENTS = ("base", "frontend", "mispredict", "dcache_miss",
+                    "divider", "residual")
+
+
+def cpi_stack(stats: CoreStats, config: BoomConfig) -> dict[str, float]:
+    """First-order CPI decomposition of one measured window."""
+    if stats.retired == 0:
+        raise ValueError("stats window retired no instructions")
+    retired = stats.retired
+    measured_cpi = stats.cycles / retired
+
+    base = 1.0 / config.decode_width
+    # Fetch-stall cycles include the cycles spent blocked on unresolved
+    # mispredicts; attribute those to the mispredict term and leave the
+    # remainder (I-cache misses, BTB bubbles) as "frontend".
+    stall_cycles = stats.frontend.fetch_stall_cycles
+    mispredict_cycles = min(
+        stall_cycles,
+        stats.predictor.mispredicts * (REDIRECT_PENALTY + 4.0))
+    mispredict = mispredict_cycles / retired
+    frontend = (stall_cycles - mispredict_cycles) / retired
+    # D-cache misses: exposed latency, discounted for memory-level
+    # parallelism across the configured MSHRs.
+    mlp = max(1.0, config.dcache.mshrs / 2.0)
+    dcache = stats.dcache.misses * DEFAULT_MISS_PENALTY / mlp / retired
+    divider = stats.execute.div_busy_cycles / retired
+
+    accounted = base + frontend + mispredict + dcache + divider
+    residual = measured_cpi - accounted
+    return {
+        "cpi": measured_cpi,
+        "base": base,
+        "frontend": frontend,
+        "mispredict": mispredict,
+        "dcache_miss": dcache,
+        "divider": divider,
+        "residual": residual,
+    }
+
+
+def format_cpi_stack(stack: dict[str, float], label: str = "") -> str:
+    """Render a CPI stack as an ASCII bar breakdown."""
+    total = stack["cpi"]
+    lines = [f"CPI stack{' — ' + label if label else ''}: "
+             f"{total:.3f} cycles/instr"]
+    for name in STACK_COMPONENTS:
+        value = stack[name]
+        share = value / total if total else 0.0
+        bar = "#" * max(0, int(40 * share))
+        lines.append(f"  {name:<12}{value:>7.3f}  {share:>6.1%}  {bar}")
+    return "\n".join(lines)
+
+
+def dominant_bottleneck(stack: dict[str, float]) -> str:
+    """The largest non-base stall component (or "none" if compute-bound)."""
+    stalls = {name: stack[name]
+              for name in ("frontend", "mispredict", "dcache_miss",
+                           "divider")}
+    worst = max(stalls, key=stalls.get)
+    if stalls[worst] < 0.5 * stack["base"]:
+        return "none"
+    return worst

@@ -1,0 +1,108 @@
+"""Suite-level efficiency summaries (the paper's contribution #5).
+
+The paper's headline: the smallest BOOM is on average ~1.6x slower than
+the largest but delivers ~52 % more performance per watt.  These helpers
+compute the same aggregates from a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.analysis.figures import ResultMap
+from repro.workloads.suite import workload_names
+
+_CONFIGS = ("MediumBOOM", "LargeBOOM", "MegaBOOM")
+
+
+def energy_per_instruction_pj(result) -> float:
+    """Average tile energy per retired instruction, picojoules.
+
+    ``P = tile_mw`` over a window of ``IPC`` instructions per cycle at
+    the study clock: E/instr = P / (IPC * f).
+    """
+    from repro.uarch.config import CLOCK_HZ
+
+    if result.ipc == 0.0:
+        return float("inf")
+    watts = result.tile_mw * 1e-3
+    instr_per_second = result.ipc * CLOCK_HZ
+    return watts / instr_per_second * 1e12
+
+
+def energy_delay_product(result) -> float:
+    """EDP per instruction (J*s, scaled to pJ*ns for readability).
+
+    Lower is better; EDP weights performance and energy equally, the
+    metric under which mid-size designs typically shine.
+    """
+    from repro.uarch.config import CLOCK_HZ
+
+    if result.ipc == 0.0:
+        return float("inf")
+    energy_pj = energy_per_instruction_pj(result)
+    delay_ns = 1e9 / (result.ipc * CLOCK_HZ)
+    return energy_pj * delay_ns
+
+
+def energy_delay_squared(result) -> float:
+    """ED^2P per instruction (pJ*ns^2): performance-leaning metric."""
+    from repro.uarch.config import CLOCK_HZ
+
+    if result.ipc == 0.0:
+        return float("inf")
+    delay_ns = 1e9 / (result.ipc * CLOCK_HZ)
+    return energy_per_instruction_pj(result) * delay_ns ** 2
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Cross-configuration efficiency aggregates."""
+
+    ipc_ratio_mega_over_medium: float
+    perf_per_watt_ratio_medium_over_mega: float
+    winners: dict[str, str]          # benchmark -> best perf/W config
+    medium_wins: int
+    average_perf_per_watt: dict[str, float]
+
+    def format(self) -> str:
+        lines = [
+            f"Mega/Medium IPC ratio (avg):        "
+            f"{self.ipc_ratio_mega_over_medium:.2f}  (paper: 1.6)",
+            f"Medium/Mega perf-per-watt (avg):    "
+            f"{self.perf_per_watt_ratio_medium_over_mega:.2f}  "
+            f"(paper: 1.52)",
+            f"MediumBOOM wins perf/W on {self.medium_wins} of "
+            f"{len(self.winners)} benchmarks  (paper: 8 of 11)",
+        ]
+        for config, value in self.average_perf_per_watt.items():
+            lines.append(f"  avg perf/W {config:<12} {value:8.1f} IPC/W")
+        return "\n".join(lines)
+
+
+def summarize(results: ResultMap) -> EfficiencySummary:
+    """Compute the paper's headline efficiency aggregates from a sweep."""
+    names = [w for w in workload_names()
+             if (w, "MediumBOOM") in results]
+    ipc_ratio = mean(results[(w, "MegaBOOM")].ipc
+                     / results[(w, "MediumBOOM")].ipc for w in names)
+    ppw_ratio = mean(results[(w, "MediumBOOM")].perf_per_watt
+                     / results[(w, "MegaBOOM")].perf_per_watt
+                     for w in names)
+    winners = {}
+    for workload in names:
+        best = max(_CONFIGS,
+                   key=lambda c: results[(workload, c)].perf_per_watt)
+        winners[workload] = best
+    averages = {config: mean(results[(w, config)].perf_per_watt
+                             for w in names)
+                for config in _CONFIGS}
+    return EfficiencySummary(
+        ipc_ratio_mega_over_medium=ipc_ratio,
+        perf_per_watt_ratio_medium_over_mega=ppw_ratio,
+        winners=winners,
+        medium_wins=sum(1 for best in winners.values()
+                        if best == "MediumBOOM"),
+        average_perf_per_watt=averages,
+    )

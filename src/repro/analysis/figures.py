@@ -1,0 +1,143 @@
+"""Data-series emitters for every figure in the paper's evaluation.
+
+Each ``fig*`` function takes the dictionary produced by
+:meth:`repro.flow.sweep.SweepRunner.run_all` — keyed by
+``(workload, config name)`` — and returns the exact series the paper
+plots, plus a ``format_*`` helper that renders it as an aligned text
+table (this environment has no plotting stack; the series are the
+deliverable and are easy to plot downstream).
+"""
+
+from __future__ import annotations
+
+from repro.flow.results import ExperimentResult
+from repro.power.area import ANALYZED_COMPONENTS
+from repro.workloads.suite import workload_names
+
+ResultMap = dict[tuple[str, str], ExperimentResult]
+
+#: Display labels matching the paper's component naming.
+COMPONENT_LABELS: dict[str, str] = {
+    "branch_predictor": "Branch Predictor",
+    "fetch_buffer": "Fetch Buffer",
+    "int_rename": "Int Rename",
+    "fp_rename": "FP Rename",
+    "int_issue": "Int Issue Unit",
+    "mem_issue": "Mem Issue Unit",
+    "fp_issue": "FP Issue Unit",
+    "rob": "ROB",
+    "int_regfile": "Int Regfile",
+    "fp_regfile": "FP Regfile",
+    "lsu": "LSU",
+    "dcache": "L1 D-Cache",
+    "icache": "L1 I-Cache",
+}
+
+
+def _workloads(results: ResultMap, config_name: str) -> list[str]:
+    return [w for w in workload_names() if (w, config_name) in results]
+
+
+def component_power_series(results: ResultMap, config_name: str) -> \
+        dict[str, dict[str, float]]:
+    """Figs. 5/6/7: per-component power (mW) per workload for one config."""
+    series: dict[str, dict[str, float]] = {}
+    for workload in _workloads(results, config_name):
+        result = results[(workload, config_name)]
+        series[workload] = {name: result.component_mw(name)
+                            for name in ANALYZED_COMPONENTS}
+    return series
+
+
+def fig5_medium(results: ResultMap) -> dict[str, dict[str, float]]:
+    return component_power_series(results, "MediumBOOM")
+
+
+def fig6_large(results: ResultMap) -> dict[str, dict[str, float]]:
+    return component_power_series(results, "LargeBOOM")
+
+
+def fig7_mega(results: ResultMap) -> dict[str, dict[str, float]]:
+    return component_power_series(results, "MegaBOOM")
+
+
+def format_component_power(series: dict[str, dict[str, float]],
+                           title: str) -> str:
+    """Render a Fig. 5/6/7 series as a component-by-workload table."""
+    workloads = list(series)
+    lines = [title,
+             f"{'component (mW)':<18}" + "".join(f"{w[:8]:>9}"
+                                                 for w in workloads)]
+    for name in ANALYZED_COMPONENTS:
+        cells = "".join(f"{series[w][name]:>9.3f}" for w in workloads)
+        lines.append(f"{COMPONENT_LABELS[name]:<18}{cells}")
+    averages = {name: sum(series[w][name] for w in workloads)
+                / len(workloads) for name in ANALYZED_COMPONENTS}
+    lines.append(f"{'-- average --':<18}"
+                 + "".join(f"{'':>9}" for _ in workloads))
+    ranked = sorted(averages.items(), key=lambda kv: kv[1], reverse=True)
+    lines.append("ranking: " + " > ".join(
+        f"{COMPONENT_LABELS[name]} ({value:.2f})"
+        for name, value in ranked[:5]))
+    return "\n".join(lines)
+
+
+def fig8_issue_slots(results: ResultMap,
+                     config_name: str = "MegaBOOM") -> \
+        dict[str, list[float]]:
+    """Fig. 8: per-slot integer-IQ power for dijkstra vs sha (MegaBOOM)."""
+    return {workload: results[(workload, config_name)].int_issue_slot_mw()
+            for workload in ("dijkstra", "sha")}
+
+
+def format_fig8(slots: dict[str, list[float]]) -> str:
+    lines = ["Fig. 8: per-slot Int Issue Queue power (mW), MegaBOOM",
+             f"{'slot':>5}{'dijkstra':>12}{'sha':>12}"]
+    for index, (d, s) in enumerate(zip(slots["dijkstra"], slots["sha"])):
+        lines.append(f"{index:>5}{d:>12.4f}{s:>12.4f}")
+    return "\n".join(lines)
+
+
+def fig9_component_share(results: ResultMap) -> dict[str, float]:
+    """Fig. 9: analyzed-component share of tile power per configuration."""
+    shares: dict[str, float] = {}
+    for config_name in ("MediumBOOM", "LargeBOOM", "MegaBOOM"):
+        rows = [results[(w, config_name)]
+                for w in _workloads(results, config_name)]
+        shares[config_name] = sum(r.analyzed_share for r in rows) / len(rows)
+    return shares
+
+
+def fig10_ipc(results: ResultMap) -> dict[str, dict[str, float]]:
+    """Fig. 10: IPC per benchmark per configuration."""
+    series: dict[str, dict[str, float]] = {}
+    for config_name in ("MediumBOOM", "LargeBOOM", "MegaBOOM"):
+        series[config_name] = {
+            w: results[(w, config_name)].ipc
+            for w in _workloads(results, config_name)}
+    return series
+
+
+def fig11_perf_per_watt(results: ResultMap) -> dict[str, dict[str, float]]:
+    """Fig. 11: performance per watt per benchmark per configuration."""
+    series: dict[str, dict[str, float]] = {}
+    for config_name in ("MediumBOOM", "LargeBOOM", "MegaBOOM"):
+        series[config_name] = {
+            w: results[(w, config_name)].perf_per_watt
+            for w in _workloads(results, config_name)}
+    return series
+
+
+def format_per_benchmark(series: dict[str, dict[str, float]],
+                         title: str, unit: str) -> str:
+    """Render Fig. 10/11-style (config x benchmark) series."""
+    configs = list(series)
+    workloads = list(series[configs[0]])
+    lines = [title,
+             f"{'benchmark':<14}" + "".join(f"{c[:10]:>12}"
+                                            for c in configs)]
+    for workload in workloads:
+        cells = "".join(f"{series[c][workload]:>12.2f}" for c in configs)
+        lines.append(f"{workload:<14}{cells}")
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)

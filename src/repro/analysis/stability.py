@@ -1,0 +1,80 @@
+"""Seed-stability analysis: are the study's conclusions robust?
+
+Every stochastic element of the flow (workload input data, k-means
+seeding, the random projection) takes the study seed.  This module
+re-runs experiments across seeds and reports the spread of the headline
+metrics, so EXPERIMENTS.md can state not just values but their
+sensitivity.
+
+Example::
+
+    report = seed_stability("sha", MEGA_BOOM, seeds=(11, 17, 23),
+                            scale=0.5)
+    print(report.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+
+from repro.flow.experiment import FlowSettings, run_experiment
+from repro.uarch.config import BoomConfig
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Across-seed spread of one (workload, config) experiment."""
+
+    workload: str
+    config_name: str
+    seeds: tuple[int, ...]
+    ipc_values: tuple[float, ...]
+    tile_mw_values: tuple[float, ...]
+    simpoint_counts: tuple[int, ...]
+
+    @property
+    def ipc_mean(self) -> float:
+        return mean(self.ipc_values)
+
+    @property
+    def ipc_cv(self) -> float:
+        """Coefficient of variation of IPC across seeds."""
+        m = self.ipc_mean
+        return pstdev(self.ipc_values) / m if m else 0.0
+
+    @property
+    def tile_mean(self) -> float:
+        return mean(self.tile_mw_values)
+
+    @property
+    def tile_cv(self) -> float:
+        m = self.tile_mean
+        return pstdev(self.tile_mw_values) / m if m else 0.0
+
+    def format(self) -> str:
+        return (f"{self.workload} on {self.config_name} over seeds "
+                f"{list(self.seeds)}: IPC {self.ipc_mean:.2f} "
+                f"(cv {self.ipc_cv:.1%}), tile {self.tile_mean:.2f} mW "
+                f"(cv {self.tile_cv:.1%}), simpoints "
+                f"{list(self.simpoint_counts)}")
+
+
+def seed_stability(workload: str, config: BoomConfig,
+                   seeds: tuple[int, ...] = (11, 17, 23),
+                   scale: float = 0.5) -> StabilityReport:
+    """Run one experiment per seed and collect the spread."""
+    ipcs = []
+    tiles = []
+    counts = []
+    for seed in seeds:
+        settings = FlowSettings(scale=scale, seed=seed)
+        result = run_experiment(workload, config, settings=settings)
+        ipcs.append(result.ipc)
+        tiles.append(result.tile_mw)
+        counts.append(len(result.runs))
+    return StabilityReport(workload=workload, config_name=config.name,
+                           seeds=tuple(seeds),
+                           ipc_values=tuple(ipcs),
+                           tile_mw_values=tuple(tiles),
+                           simpoint_counts=tuple(counts))

@@ -1,0 +1,80 @@
+"""Table I and Table II emitters.
+
+Table I (the three BOOM configurations) comes straight from the config
+objects; Table II (benchmark instructions, interval size, number of
+SimPoints) is *measured* — the workloads are profiled and SimPoint-
+selected exactly as in the experiment flow, then compared against the
+paper's values at the documented 1:1000 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.experiment import FlowSettings, profile_and_select
+from repro.uarch.config import ALL_CONFIGS, BoomConfig
+from repro.workloads.suite import get_workload, workload_names
+
+
+def table_i(configs: tuple[BoomConfig, ...] = ALL_CONFIGS) -> str:
+    """Render Table I: the three BOOM configurations side by side."""
+    rows = [config.describe() for config in configs]
+    keys = list(rows[0])
+    # One width per configuration column, across all of its cells.
+    widths = [max(len(str(row[key])) for key in keys) for row in rows]
+    lines = []
+    for key in keys:
+        cells = "  ".join(str(row[key]).rjust(width)
+                          for row, width in zip(rows, widths))
+        lines.append(f"{key:<24}{cells}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TableIIRow:
+    """One measured Table II row."""
+
+    benchmark: str
+    suite: str
+    interval: int
+    num_simpoints: int
+    coverage: float
+    instructions: int
+    paper_instructions_scaled: int
+    paper_simpoints: int
+
+
+def table_ii(settings: FlowSettings | None = None) -> list[TableIIRow]:
+    """Measure Table II: run profiling + SimPoint selection per workload."""
+    if settings is None:
+        settings = FlowSettings()
+    rows = []
+    for name in workload_names():
+        spec = get_workload(name)
+        profile, selection = profile_and_select(name, settings)
+        top = selection.top_points()
+        rows.append(TableIIRow(
+            benchmark=name,
+            suite=spec.suite,
+            interval=spec.interval_for_scale(settings.scale),
+            num_simpoints=len(top),
+            coverage=selection.coverage_of(top),
+            instructions=profile.total_instructions,
+            paper_instructions_scaled=spec.target_instructions(settings.scale),
+            paper_simpoints=spec.paper_simpoints,
+        ))
+    return rows
+
+
+def format_table_ii(rows: list[TableIIRow]) -> str:
+    """Render measured Table II next to the paper's scaled values."""
+    lines = [f"{'Benchmark':<14}{'Suite':<9}{'Interval':>9}{'#SP':>5}"
+             f"{'Cov':>6}{'Instructions':>14}{'Paper/1000':>12}"
+             f"{'PaperSP':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<14}{row.suite:<9}{row.interval:>9}"
+            f"{row.num_simpoints:>5}{row.coverage:>6.2f}"
+            f"{row.instructions:>14,}{row.paper_instructions_scaled:>12,}"
+            f"{row.paper_simpoints:>8}")
+    return "\n".join(lines)

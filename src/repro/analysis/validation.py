@@ -1,0 +1,84 @@
+"""SimPoint accuracy validation: estimated vs. ground-truth IPC.
+
+The paper asserts that top-ranked SimPoints at >= 90 % coverage "ensure
+high accuracy".  Because this reproduction's detailed core is fast enough
+to simulate *entire* scaled workloads, that claim is directly testable:
+run the whole program through the detailed core (ground truth), run the
+SimPoint flow (estimate), and compare.
+
+Example::
+
+    report = validate_simpoint_accuracy("bitcount", MEDIUM_BOOM,
+                                        settings=FlowSettings(scale=0.3))
+    print(report.relative_error)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.experiment import FlowSettings, run_experiment
+from repro.uarch.config import BoomConfig
+from repro.uarch.core import BoomCore
+from repro.workloads.suite import build_program
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """SimPoint-estimated vs. full-simulation IPC for one pair."""
+
+    workload: str
+    config_name: str
+    estimated_ipc: float
+    true_ipc: float
+    coverage: float
+    simpoints: int
+    detailed_instructions: int
+    total_instructions: int
+
+    @property
+    def relative_error(self) -> float:
+        """|estimate - truth| / truth."""
+        if self.true_ipc == 0.0:
+            return float("inf")
+        return abs(self.estimated_ipc - self.true_ipc) / self.true_ipc
+
+    @property
+    def speedup(self) -> float:
+        if self.detailed_instructions == 0:
+            return float("inf")
+        return self.total_instructions / self.detailed_instructions
+
+    def format(self) -> str:
+        return (f"{self.workload} on {self.config_name}: "
+                f"SimPoint IPC {self.estimated_ipc:.3f} vs full "
+                f"{self.true_ipc:.3f} "
+                f"({self.relative_error:.1%} error, "
+                f"{self.simpoints} points, {self.coverage:.0%} coverage, "
+                f"{self.speedup:.1f}x less detail)")
+
+
+def full_detailed_ipc(workload: str, config: BoomConfig,
+                      settings: FlowSettings) -> float:
+    """Ground truth: the whole workload through the detailed core."""
+    program = build_program(workload, scale=settings.scale,
+                            seed=settings.seed)
+    core = BoomCore(config, program)
+    core.run()
+    return core.stats.ipc
+
+
+def validate_simpoint_accuracy(workload: str, config: BoomConfig,
+                               settings: FlowSettings) -> AccuracyReport:
+    """Run both the estimate and the ground truth; return the comparison."""
+    result = run_experiment(workload, config, settings=settings)
+    truth = full_detailed_ipc(workload, config, settings)
+    return AccuracyReport(
+        workload=workload,
+        config_name=config.name,
+        estimated_ipc=result.ipc,
+        true_ipc=truth,
+        coverage=result.coverage,
+        simpoints=len(result.runs),
+        detailed_instructions=result.detailed_instructions,
+        total_instructions=result.total_instructions)

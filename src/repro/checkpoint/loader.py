@@ -1,0 +1,49 @@
+"""Checkpoint loading and verification.
+
+The detailed core consumes checkpoints directly (it executes from the
+restored :class:`ArchState`), but two helpers live here:
+
+* :func:`resume_functional` — restore a checkpoint into a fresh functional
+  executor, used by tests and by the equivalence checks below;
+* :func:`verify_checkpoint` — the invariant at the heart of the paper's
+  methodology: running the original program up to the checkpoint index and
+  then N more instructions must equal restoring the checkpoint and running
+  N instructions.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.errors import CheckpointError
+from repro.isa.program import Program
+from repro.sim.executor import Executor
+
+
+def resume_functional(program: Program, checkpoint: Checkpoint) -> Executor:
+    """Return a functional executor resumed from ``checkpoint``."""
+    if checkpoint.workload != program.name:
+        raise CheckpointError(
+            f"checkpoint is for {checkpoint.workload!r}, "
+            f"not {program.name!r}")
+    return Executor(program, state=checkpoint.restore())
+
+
+def verify_checkpoint(program: Program, checkpoint: Checkpoint,
+                      probe_instructions: int = 500) -> bool:
+    """Check resume-equivalence: restored state replays identically.
+
+    Runs the original program from reset to the checkpoint index plus
+    ``probe_instructions``, and the restored checkpoint for
+    ``probe_instructions``; compares registers and PC.
+    """
+    reference = Executor(program)
+    reference.run(max_instructions=checkpoint.instruction_index
+                  + probe_instructions)
+    resumed = resume_functional(program, checkpoint)
+    budget = reference.state.retired - checkpoint.instruction_index
+    if budget > 0:
+        resumed.run(max_instructions=budget)
+    same_x = reference.state.x == resumed.state.x
+    same_f = reference.state.f == resumed.state.f
+    same_pc = reference.state.pc == resumed.state.pc
+    return same_x and same_f and same_pc

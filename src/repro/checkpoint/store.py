@@ -1,0 +1,101 @@
+"""On-disk checkpoint storage.
+
+The paper's flow materializes Spike checkpoints as files consumed later by
+the Chipyard testbench; this module provides the same decoupling: write a
+workload's SimPoint checkpoints into a directory (one ``.ckpt`` per point
+plus a JSON manifest), reload them later without re-running profiling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.errors import CheckpointError
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _checkpoint_filename(checkpoint: Checkpoint) -> str:
+    return f"{checkpoint.workload}_iv{checkpoint.interval_index:06d}.ckpt"
+
+
+def save_checkpoints(directory: Path | str,
+                     checkpoints: list[Checkpoint]) -> list[Path]:
+    """Write ``checkpoints`` into ``directory`` and update its manifest.
+
+    Returns the written file paths.  Checkpoints from multiple workloads
+    can share one directory; the manifest keeps one entry per file.
+    """
+    if not checkpoints:
+        raise CheckpointError("no checkpoints to save")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_NAME
+    manifest: dict[str, dict] = {}
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+    written = []
+    for checkpoint in checkpoints:
+        name = _checkpoint_filename(checkpoint)
+        path = directory / name
+        path.write_bytes(checkpoint.to_bytes())
+        manifest[name] = {
+            "workload": checkpoint.workload,
+            "interval_index": checkpoint.interval_index,
+            "instruction_index": checkpoint.instruction_index,
+            "weight": checkpoint.weight,
+            "warmup_instructions": checkpoint.warmup_instructions,
+            "measure_instructions": checkpoint.measure_instructions,
+            "pages": len(checkpoint.pages),
+            "bytes": path.stat().st_size,
+        }
+        written.append(path)
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return written
+
+
+def load_checkpoints(directory: Path | str,
+                     workload: str | None = None) -> list[Checkpoint]:
+    """Load checkpoints from ``directory`` (optionally one workload's).
+
+    Returns checkpoints sorted by instruction index, exactly as the
+    creator produced them.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(f"no checkpoint manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    checkpoints = []
+    for name, entry in manifest.items():
+        if workload is not None and entry["workload"] != workload:
+            continue
+        path = directory / name
+        if not path.exists():
+            raise CheckpointError(f"manifest references missing {name}")
+        checkpoints.append(Checkpoint.from_bytes(path.read_bytes()))
+    if workload is not None and not checkpoints:
+        raise CheckpointError(
+            f"no checkpoints for workload {workload!r} in {directory}")
+    checkpoints.sort(key=lambda c: (c.workload, c.instruction_index))
+    return checkpoints
+
+
+def describe_store(directory: Path | str) -> str:
+    """Human-readable summary of a checkpoint directory."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return f"{directory}: empty (no manifest)"
+    manifest = json.loads(manifest_path.read_text())
+    lines = [f"{directory}: {len(manifest)} checkpoints",
+             f"{'file':<36}{'instr':>10}{'weight':>8}{'pages':>7}"
+             f"{'bytes':>10}"]
+    for name in sorted(manifest):
+        entry = manifest[name]
+        lines.append(f"{name:<36}{entry['instruction_index']:>10}"
+                     f"{entry['weight']:>8.2f}{entry['pages']:>7}"
+                     f"{entry['bytes']:>10}")
+    return "\n".join(lines)

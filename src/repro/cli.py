@@ -1,0 +1,304 @@
+"""Command-line front end: run the flow, print every table and figure.
+
+Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
+
+    repro-cli table1
+    repro-cli table2 --scale 0.2
+    repro-cli run sha MegaBOOM --scale 1.0
+    repro-cli fig 10 --scale 1.0
+    repro-cli takeaways --gshare
+    repro-cli speedup
+    repro-cli sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    check_all,
+    component_power_series,
+    fig10_ipc,
+    fig11_perf_per_watt,
+    fig8_issue_slots,
+    fig9_component_share,
+    format_checks,
+    format_component_power,
+    format_fig8,
+    format_per_benchmark,
+    format_table_ii,
+    summarize,
+    table_i,
+    table_ii,
+)
+from repro.flow import FlowSettings, speedup_report, SweepRunner
+from repro.uarch.config import ALL_CONFIGS, config_by_name
+from repro.workloads.suite import workload_names
+
+
+def _runner(args: argparse.Namespace) -> SweepRunner:
+    settings = FlowSettings(scale=args.scale, seed=args.seed)
+    cache = None if args.no_cache else args.cache_dir
+    return SweepRunner(settings, cache_dir=cache)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(table_i())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table_ii(FlowSettings(scale=args.scale, seed=args.seed))
+    print(format_table_ii(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    config = config_by_name(args.config)
+    result = runner.run(args.workload, config)
+    print(f"{args.workload} on {config.name} (scale {args.scale:g})")
+    print(f"  SimPoints: {len(result.runs)} of k={result.chosen_k} "
+          f"clusters, coverage {result.coverage:.2f}")
+    print(f"  IPC: {result.ipc:.3f}")
+    print(f"  Tile power: {result.tile_mw:.2f} mW "
+          f"(analyzed share {result.analyzed_share:.1%})")
+    print(f"  Perf/W: {result.perf_per_watt:.1f} IPC/W")
+    for run in result.runs:
+        print(f"    interval {run.interval_index}: weight={run.weight:.2f} "
+              f"ipc={run.ipc:.2f} tile={run.report.tile_mw:.2f} mW")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    results = runner.run_all(jobs=args.jobs)
+    number = args.number
+    if number in (5, 6, 7):
+        config = {5: "MediumBOOM", 6: "LargeBOOM", 7: "MegaBOOM"}[number]
+        series = component_power_series(results, config)
+        print(format_component_power(
+            series, f"Fig. {number}: per-component power, {config}"))
+    elif number == 8:
+        print(format_fig8(fig8_issue_slots(results)))
+    elif number == 9:
+        shares = fig9_component_share(results)
+        print("Fig. 9: analyzed-component share of tile power")
+        for config, share in shares.items():
+            print(f"  {config:<12} {share:.1%}")
+    elif number == 10:
+        print(format_per_benchmark(fig10_ipc(results),
+                                   "Fig. 10: IPC per benchmark", "IPC"))
+    elif number == 11:
+        print(format_per_benchmark(
+            fig11_perf_per_watt(results),
+            "Fig. 11: performance per watt", "IPC/W"))
+    else:
+        print(f"unknown figure {number}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_takeaways(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    results = runner.run_all(jobs=args.jobs)
+    gshare_results = None
+    if args.gshare:
+        gshare_configs = tuple(c.with_predictor("gshare")
+                               for c in ALL_CONFIGS)
+        gshare_results = runner.run_all(configs=gshare_configs,
+                                        jobs=args.jobs)
+    checks = check_all(results, gshare_results)
+    print(format_checks(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    results = [runner.run(w, config_by_name(args.config))
+               for w in workload_names()]
+    print(speedup_report(results).format_table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    results = runner.run_all(jobs=args.jobs)
+    print(summarize(results).format())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import get_workload
+
+    print(f"{'name':<14}{'suite':<9}{'interval':>9}{'paper instr':>15}"
+          f"{'SPs':>4}  description")
+    for name in workload_names():
+        spec = get_workload(name)
+        print(f"{spec.name:<14}{spec.suite:<9}{spec.interval_size:>9}"
+              f"{spec.paper_instructions:>15,}{spec.paper_simpoints:>4}"
+              f"  {spec.description}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.flow.report import generate_report
+
+    text = generate_report(_runner(args), include_gshare=args.gshare)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    from repro.checkpoint import (
+        create_checkpoints,
+        describe_store,
+        save_checkpoints,
+    )
+    from repro.flow import profile_and_select
+    from repro.workloads.suite import build_program
+
+    settings = FlowSettings(scale=args.scale, seed=args.seed)
+    program = build_program(args.workload, scale=settings.scale,
+                            seed=settings.seed)
+    _, selection = profile_and_select(args.workload, settings)
+    checkpoints = create_checkpoints(program, selection,
+                                     warmup=settings.scaled_warmup())
+    save_checkpoints(args.directory, checkpoints)
+    print(describe_store(args.directory))
+    return 0
+
+
+def _cmd_cpi(args: argparse.Namespace) -> int:
+    from repro.analysis.cpi_stack import (
+        cpi_stack,
+        dominant_bottleneck,
+        format_cpi_stack,
+    )
+    from repro.uarch.core import BoomCore
+    from repro.workloads.suite import build_program
+
+    config = config_by_name(args.config)
+    program = build_program(args.workload, scale=args.scale,
+                            seed=args.seed)
+    core = BoomCore(config, program)
+    core.run(args.skip)
+    stats = core.begin_measurement()
+    core.run(args.window)
+    stack = cpi_stack(stats, config)
+    print(format_cpi_stack(stack, f"{args.workload} on {config.name}"))
+    print(f"dominant bottleneck: {dominant_bottleneck(stack)}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.uarch.pipeview import (
+        render_waterfall,
+        summarize_timings,
+        trace_program,
+    )
+    from repro.workloads.suite import build_program
+
+    program = build_program(args.workload, scale=args.scale,
+                            seed=args.seed)
+    timings = trace_program(program, config_by_name(args.config),
+                            max_uops=args.uops,
+                            skip_instructions=args.skip)
+    print(render_waterfall(timings))
+    for key, value in summarize_timings(timings).items():
+        print(f"{key}: {value:.2f}" if isinstance(value, float)
+              else f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="SimPoint-based BOOM hotspot & energy-efficiency "
+                    "analysis (ISPASS 2024 reproduction)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (1.0 = Table II / 1000)")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--cache-dir", default=".repro_cache")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers for sweeps")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("table1", help="print Table I").set_defaults(
+        handler=_cmd_table1)
+    commands.add_parser("table2", help="measure Table II").set_defaults(
+        handler=_cmd_table2)
+
+    run_parser = commands.add_parser("run", help="one experiment")
+    run_parser.add_argument("workload", choices=workload_names())
+    run_parser.add_argument("config")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    fig_parser = commands.add_parser("fig", help="print a figure's series")
+    fig_parser.add_argument("number", type=int, choices=range(5, 12))
+    fig_parser.set_defaults(handler=_cmd_fig)
+
+    takeaway_parser = commands.add_parser(
+        "takeaways", help="validate the 8 key takeaways")
+    takeaway_parser.add_argument("--gshare", action="store_true",
+                                 help="also run the gshare ablation")
+    takeaway_parser.set_defaults(handler=_cmd_takeaways)
+
+    speedup_parser = commands.add_parser(
+        "speedup", help="SimPoint simulation-time accounting")
+    speedup_parser.add_argument("--config", default="MegaBOOM")
+    speedup_parser.set_defaults(handler=_cmd_speedup)
+
+    commands.add_parser(
+        "sweep", help="full study + efficiency summary").set_defaults(
+        handler=_cmd_sweep)
+
+    commands.add_parser(
+        "workloads", help="list the benchmark suite").set_defaults(
+        handler=_cmd_workloads)
+
+    report_parser = commands.add_parser(
+        "report", help="render the full study as a markdown report")
+    report_parser.add_argument("--output", "-o", default=None)
+    report_parser.add_argument("--gshare", action="store_true")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    checkpoint_parser = commands.add_parser(
+        "checkpoints", help="create and save a workload's checkpoints")
+    checkpoint_parser.add_argument("workload", choices=workload_names())
+    checkpoint_parser.add_argument("directory")
+    checkpoint_parser.set_defaults(handler=_cmd_checkpoints)
+
+    cpi_parser = commands.add_parser(
+        "cpi", help="CPI-stack breakdown for one workload window")
+    cpi_parser.add_argument("workload", choices=workload_names())
+    cpi_parser.add_argument("config", nargs="?", default="MegaBOOM")
+    cpi_parser.add_argument("--skip", type=int, default=20_000)
+    cpi_parser.add_argument("--window", type=int, default=5_000)
+    cpi_parser.set_defaults(handler=_cmd_cpi)
+
+    pipeline_parser = commands.add_parser(
+        "pipeline", help="render a pipeline waterfall for a workload")
+    pipeline_parser.add_argument("workload", choices=workload_names())
+    pipeline_parser.add_argument("config", nargs="?", default="MediumBOOM")
+    pipeline_parser.add_argument("--uops", type=int, default=32)
+    pipeline_parser.add_argument("--skip", type=int, default=0)
+    pipeline_parser.set_defaults(handler=_cmd_pipeline)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

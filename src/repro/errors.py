@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at a flow boundary.  Sub-hierarchies mirror the
+package layout (ISA, simulation, SimPoint, power, flow).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IsaError(ReproError):
+    """Problems with instruction definitions, encodings, or operands."""
+
+
+class AssemblerError(IsaError):
+    """Malformed assembly source: unknown mnemonic, bad operand, missing label."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Runtime faults in the functional or detailed simulator."""
+
+
+class MemoryFault(SimulationError):
+    """Unaligned or out-of-range memory access the model does not permit."""
+
+    def __init__(self, address: int, message: str) -> None:
+        self.address = address
+        super().__init__(f"{message} (address 0x{address:x})")
+
+
+class IllegalInstruction(SimulationError):
+    """Fetched a word that does not decode, or executed an unsupported op."""
+
+
+class SimPointError(ReproError):
+    """Bad inputs or degenerate data in the SimPoint selection pipeline."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint creation, serialization, or restore failed."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent or out-of-range microarchitectural configuration."""
+
+
+class PowerModelError(ReproError):
+    """Structural power model was given inconsistent areas or activities."""
+
+
+class FlowError(ReproError):
+    """End-to-end experiment pipeline misuse (missing stage outputs, etc.)."""

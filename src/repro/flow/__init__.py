@@ -1,0 +1,28 @@
+"""The end-to-end experimental flow (paper Figs. 3 and 4)."""
+
+from repro.flow.experiment import (
+    DEFAULT_BIC_THRESHOLD,
+    DEFAULT_MAX_K,
+    FlowSettings,
+    profile_and_select,
+    run_experiment,
+)
+from repro.flow.results import ExperimentResult, SimPointRun
+from repro.flow.speedup import speedup_report, SpeedupReport, SpeedupRow
+from repro.flow.sweep import DEFAULT_CACHE_DIR, MODEL_VERSION, SweepRunner
+
+__all__ = [
+    "DEFAULT_BIC_THRESHOLD",
+    "DEFAULT_MAX_K",
+    "FlowSettings",
+    "profile_and_select",
+    "run_experiment",
+    "ExperimentResult",
+    "SimPointRun",
+    "speedup_report",
+    "SpeedupReport",
+    "SpeedupRow",
+    "DEFAULT_CACHE_DIR",
+    "MODEL_VERSION",
+    "SweepRunner",
+]

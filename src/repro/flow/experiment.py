@@ -1,0 +1,121 @@
+"""The end-to-end experiment: paper Fig. 3 and Fig. 4 as one function.
+
+For one (workload, configuration) pair:
+
+1. build the workload program (Table II scale),
+2. profile basic-block vectors on the functional simulator (gem5 stage),
+3. run SimPoint selection (projection, k-means, BIC, coverage),
+4. create architectural checkpoints with warm-up margins (Spike stage),
+5. for each top-ranked SimPoint: restore into the detailed BOOM core,
+   run the warm-up un-measured, then measure the interval (Verilator
+   stage) and convert activity to power (Joules stage),
+6. aggregate SimPoint-weighted IPC and per-component power.
+
+Example::
+
+    from repro.flow import run_experiment
+    from repro.uarch.config import MEDIUM_BOOM
+
+    result = run_experiment("sha", MEDIUM_BOOM, scale=0.2)
+    print(result.ipc, result.tile_mw, result.perf_per_watt)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checkpoint.creator import create_checkpoints, DEFAULT_WARMUP
+from repro.flow.results import ExperimentResult, SimPointRun
+from repro.power.model import PowerModel
+from repro.profiling.bbv import BBVProfile, BBVProfiler
+from repro.simpoint.simpoints import select_simpoints, SimPointSelection
+from repro.uarch.config import BoomConfig
+from repro.uarch.core import BoomCore
+from repro.workloads.suite import build_program, get_workload
+
+#: BIC threshold tuned for 1:1000-scale workloads: the scaled programs
+#: expose more fine-grained phase structure than the paper's full-length
+#: runs, so the SimPoint-3.0 default of 0.9 over-fragments them.
+DEFAULT_BIC_THRESHOLD = 0.4
+DEFAULT_MAX_K = 8
+DEFAULT_SEED = 17
+
+
+@dataclass(frozen=True)
+class FlowSettings:
+    """Knobs of the experimental flow, fixed across the whole study."""
+
+    scale: float = 1.0
+    seed: int = DEFAULT_SEED
+    warmup: int = DEFAULT_WARMUP
+    bic_threshold: float = DEFAULT_BIC_THRESHOLD
+    max_k: int = DEFAULT_MAX_K
+    coverage: float = 0.9
+
+    def scaled_warmup(self) -> int:
+        return max(200, int(self.warmup * self.scale))
+
+
+def profile_and_select(workload: str, settings: FlowSettings) -> \
+        tuple[BBVProfile, SimPointSelection]:
+    """Stages 1-3: profile BBVs and select SimPoints for one workload."""
+    spec = get_workload(workload)
+    program = build_program(workload, scale=settings.scale,
+                            seed=settings.seed)
+    interval = spec.interval_for_scale(settings.scale)
+    profile = BBVProfiler(interval).profile(program)
+    selection = select_simpoints(profile, max_k=settings.max_k,
+                                 seed=settings.seed,
+                                 bic_threshold=settings.bic_threshold,
+                                 coverage=settings.coverage)
+    return profile, selection
+
+
+def run_experiment(workload: str, config: BoomConfig,
+                   scale: float = 1.0,
+                   settings: FlowSettings | None = None) -> ExperimentResult:
+    """Run the full flow for one (workload, configuration) pair."""
+    if settings is None:
+        settings = FlowSettings(scale=scale)
+    _, selection = profile_and_select(workload, settings)
+    return run_selection(workload, config, selection, settings)
+
+
+def run_selection(workload: str, config: BoomConfig,
+                  selection: SimPointSelection,
+                  settings: FlowSettings) -> ExperimentResult:
+    """Stages 4-6 for an externally supplied interval selection.
+
+    This is how alternative sampling policies (periodic/random baselines
+    in :mod:`repro.simpoint.sampling`) reuse the checkpoint + detailed
+    simulation + power machinery unchanged.
+    """
+    program = build_program(workload, scale=settings.scale,
+                            seed=settings.seed)
+    checkpoints = create_checkpoints(program, selection,
+                                     warmup=settings.scaled_warmup())
+    model = PowerModel(config)
+    result = ExperimentResult(
+        workload=workload, config_name=config.name, scale=settings.scale,
+        total_instructions=selection.total_instructions,
+        interval_size=selection.interval_size,
+        num_intervals=selection.num_intervals,
+        chosen_k=selection.chosen_k,
+        coverage=selection.coverage_of(selection.top_points()))
+    for checkpoint in checkpoints:
+        core = BoomCore(config, program, state=checkpoint.restore())
+        if checkpoint.warmup_instructions:
+            core.run(checkpoint.warmup_instructions)
+        stats = core.begin_measurement()
+        window = checkpoint.measure_instructions or selection.interval_size
+        measured = core.run(window)
+        report = model.report(stats, workload=workload)
+        result.runs.append(SimPointRun(
+            interval_index=checkpoint.interval_index,
+            weight=checkpoint.weight,
+            warmup_instructions=checkpoint.warmup_instructions,
+            measured_instructions=measured,
+            cycles=stats.cycles,
+            ipc=stats.ipc,
+            report=report))
+    return result

@@ -1,0 +1,161 @@
+"""Result records for the experimental flow, with JSON serialization.
+
+One :class:`ExperimentResult` captures everything the paper reports for a
+(workload, configuration) pair: the SimPoint selection, per-point IPC and
+power, and the SimPoint-weighted aggregates used in Figs. 5-11.  Records
+serialize to plain dictionaries so sweeps can be cached on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
+from repro.power.report import ComponentPower, PowerReport
+
+
+@dataclass
+class SimPointRun:
+    """One executed SimPoint: measured stats summary plus power."""
+
+    interval_index: int
+    weight: float
+    warmup_instructions: int
+    measured_instructions: int
+    cycles: int
+    ipc: float
+    report: PowerReport
+
+    def to_dict(self) -> dict:
+        return {
+            "interval_index": self.interval_index,
+            "weight": self.weight,
+            "warmup_instructions": self.warmup_instructions,
+            "measured_instructions": self.measured_instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "components": {
+                name: [c.leakage_mw, c.internal_mw, c.switching_mw]
+                for name, c in self.report.components.items()},
+            "int_issue_slot_mw": self.report.int_issue_slot_mw,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, config_name: str,
+                  workload: str) -> "SimPointRun":
+        report = PowerReport(config_name=config_name, workload=workload,
+                             cycles=data["cycles"])
+        for name, (leak, internal, switch) in data["components"].items():
+            report.components[name] = ComponentPower(leak, internal, switch)
+        report.int_issue_slot_mw = list(data["int_issue_slot_mw"])
+        return cls(interval_index=data["interval_index"],
+                   weight=data["weight"],
+                   warmup_instructions=data["warmup_instructions"],
+                   measured_instructions=data["measured_instructions"],
+                   cycles=data["cycles"], ipc=data["ipc"], report=report)
+
+
+@dataclass
+class ExperimentResult:
+    """SimPoint-weighted outcome for one (workload, configuration) pair."""
+
+    workload: str
+    config_name: str
+    scale: float
+    total_instructions: int
+    interval_size: int
+    num_intervals: int
+    chosen_k: int
+    coverage: float
+    runs: list[SimPointRun] = field(default_factory=list)
+
+    @property
+    def _weight_total(self) -> float:
+        return sum(run.weight for run in self.runs)
+
+    @property
+    def ipc(self) -> float:
+        """SimPoint-weighted IPC (Fig. 10)."""
+        total = self._weight_total
+        if not total:
+            return 0.0
+        return sum(run.weight * run.ipc for run in self.runs) / total
+
+    def component_mw(self, name: str) -> float:
+        """SimPoint-weighted power of one component (Figs. 5-7)."""
+        total = self._weight_total
+        if not total:
+            return 0.0
+        return sum(run.weight * run.report.components[name].total_mw
+                   for run in self.runs) / total
+
+    @property
+    def tile_mw(self) -> float:
+        total = self._weight_total
+        if not total:
+            return 0.0
+        return sum(run.weight * run.report.tile_mw
+                   for run in self.runs) / total
+
+    @property
+    def analyzed_mw(self) -> float:
+        return sum(self.component_mw(name) for name in ANALYZED_COMPONENTS)
+
+    @property
+    def analyzed_share(self) -> float:
+        """Fig. 9: analyzed-component share of the tile power."""
+        tile = self.tile_mw
+        return self.analyzed_mw / tile if tile else 0.0
+
+    @property
+    def perf_per_watt(self) -> float:
+        """IPC per watt (Fig. 11)."""
+        tile_watts = self.tile_mw * 1e-3
+        return self.ipc / tile_watts if tile_watts else 0.0
+
+    def int_issue_slot_mw(self) -> list[float]:
+        """SimPoint-weighted per-slot power of the integer IQ (Fig. 8)."""
+        total = self._weight_total
+        if not total or not self.runs:
+            return []
+        slots = len(self.runs[0].report.int_issue_slot_mw)
+        out = [0.0] * slots
+        for run in self.runs:
+            for index, value in enumerate(run.report.int_issue_slot_mw):
+                out[index] += run.weight * value
+        return [value / total for value in out]
+
+    @property
+    def detailed_instructions(self) -> int:
+        """Instructions actually simulated in detail (speedup accounting)."""
+        return sum(run.warmup_instructions + run.measured_instructions
+                   for run in self.runs)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "scale": self.scale,
+            "total_instructions": self.total_instructions,
+            "interval_size": self.interval_size,
+            "num_intervals": self.num_intervals,
+            "chosen_k": self.chosen_k,
+            "coverage": self.coverage,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        result = cls(workload=data["workload"],
+                     config_name=data["config_name"],
+                     scale=data["scale"],
+                     total_instructions=data["total_instructions"],
+                     interval_size=data["interval_size"],
+                     num_intervals=data["num_intervals"],
+                     chosen_k=data["chosen_k"],
+                     coverage=data["coverage"])
+        result.runs = [
+            SimPointRun.from_dict(run, data["config_name"],
+                                  data["workload"])
+            for run in data["runs"]]
+        return result

@@ -1,0 +1,70 @@
+"""Simulation-time accounting: the paper's 45x SimPoint speedup (§IV-A).
+
+Detailed (RTL-style) simulation cost is proportional to the number of
+instructions simulated in detail.  Without SimPoints every workload runs
+end-to-end; with SimPoints only warm-up + interval windows run.  The
+ratio of the two is the speedup the methodology buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Per-workload simulation-cost accounting."""
+
+    workload: str
+    full_instructions: int
+    detailed_instructions: int
+
+    @property
+    def speedup(self) -> float:
+        if self.detailed_instructions == 0:
+            return float("inf")
+        return self.full_instructions / self.detailed_instructions
+
+
+@dataclass
+class SpeedupReport:
+    """Suite-wide speedup summary."""
+
+    rows: list[SpeedupRow]
+
+    @property
+    def total_full(self) -> int:
+        return sum(row.full_instructions for row in self.rows)
+
+    @property
+    def total_detailed(self) -> int:
+        return sum(row.detailed_instructions for row in self.rows)
+
+    @property
+    def overall_speedup(self) -> float:
+        if self.total_detailed == 0:
+            return float("inf")
+        return self.total_full / self.total_detailed
+
+    def format_table(self) -> str:
+        lines = [f"{'workload':<14}{'full':>12}{'detailed':>12}"
+                 f"{'speedup':>10}"]
+        for row in self.rows:
+            lines.append(f"{row.workload:<14}{row.full_instructions:>12}"
+                         f"{row.detailed_instructions:>12}"
+                         f"{row.speedup:>9.1f}x")
+        lines.append(f"{'TOTAL':<14}{self.total_full:>12}"
+                     f"{self.total_detailed:>12}"
+                     f"{self.overall_speedup:>9.1f}x")
+        return "\n".join(lines)
+
+
+def speedup_report(results: list[ExperimentResult]) -> SpeedupReport:
+    """Build the speedup accounting from one configuration's results."""
+    rows = [SpeedupRow(workload=result.workload,
+                       full_instructions=result.total_instructions,
+                       detailed_instructions=result.detailed_instructions)
+            for result in results]
+    return SpeedupReport(rows=rows)

@@ -1,0 +1,124 @@
+"""Sweeps: all workloads x all configurations, with a disk cache.
+
+The figure/table benchmarks all consume the same full sweep, so results
+are cached as JSON keyed by (workload, config, predictor, scale, seed,
+model version).  Delete the cache directory to force recomputation.
+Pass ``jobs > 1`` to :meth:`SweepRunner.run_all` to fan uncached
+experiments out across processes (each experiment is independent and
+fully seeded, so the parallel path is bit-identical to the serial one).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.flow.experiment import FlowSettings, run_experiment
+from repro.flow.results import ExperimentResult
+from repro.uarch.config import ALL_CONFIGS, BoomConfig
+from repro.workloads.suite import workload_names
+
+#: bump when the models change to invalidate cached sweeps
+MODEL_VERSION = 11
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+
+def _run_one(task: tuple[str, BoomConfig, FlowSettings]) -> dict:
+    """Process-pool worker: run one experiment, return its dict form."""
+    workload, config, settings = task
+    result = run_experiment(workload, config, scale=settings.scale,
+                            settings=settings)
+    return result.to_dict()
+
+
+class SweepRunner:
+    """Runs and caches (workload, configuration) experiments."""
+
+    def __init__(self, settings: FlowSettings | None = None,
+                 cache_dir: Path | str | None = DEFAULT_CACHE_DIR) -> None:
+        self.settings = settings if settings is not None else FlowSettings()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: dict[str, ExperimentResult] = {}
+
+    def _key(self, workload: str, config: BoomConfig) -> str:
+        settings = self.settings
+        return (f"v{MODEL_VERSION}_{workload}_{config.name}"
+                f"_{config.predictor.kind}_s{settings.scale:g}"
+                f"_r{settings.seed}_w{settings.warmup}")
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+
+    def _load_cached(self, workload: str,
+                     config: BoomConfig) -> ExperimentResult | None:
+        key = self._key(workload, config)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        if self.cache_dir is not None:
+            path = self.cache_dir / f"{key}.json"
+            if path.exists():
+                result = ExperimentResult.from_dict(
+                    json.loads(path.read_text()))
+                self._memory[key] = result
+                return result
+        return None
+
+    def _store(self, workload: str, config: BoomConfig,
+               result: ExperimentResult) -> None:
+        key = self._key(workload, config)
+        self._memory[key] = result
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            (self.cache_dir / f"{key}.json").write_text(
+                json.dumps(result.to_dict()))
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run(self, workload: str, config: BoomConfig) -> ExperimentResult:
+        """One experiment, via memory/disk cache when available."""
+        cached = self._load_cached(workload, config)
+        if cached is not None:
+            return cached
+        result = run_experiment(workload, config,
+                                scale=self.settings.scale,
+                                settings=self.settings)
+        self._store(workload, config, result)
+        return result
+
+    def run_all(self, configs: tuple[BoomConfig, ...] = ALL_CONFIGS,
+                workloads: list[str] | None = None,
+                jobs: int = 1) -> dict[tuple[str, str], ExperimentResult]:
+        """The full study: every workload on every configuration.
+
+        With ``jobs > 1``, uncached experiments run in a process pool.
+        """
+        if workloads is None:
+            workloads = workload_names()
+        pairs = [(workload, config) for config in configs
+                 for workload in workloads]
+        results: dict[tuple[str, str], ExperimentResult] = {}
+        if jobs > 1:
+            pending: list[tuple[str, BoomConfig, FlowSettings]] = []
+            for workload, config in pairs:
+                cached = self._load_cached(workload, config)
+                if cached is not None:
+                    results[(workload, config.name)] = cached
+                else:
+                    pending.append((workload, config, self.settings))
+            if pending:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for (workload, config, _), data in zip(
+                            pending, pool.map(_run_one, pending)):
+                        result = ExperimentResult.from_dict(data)
+                        self._store(workload, config, result)
+                        results[(workload, config.name)] = result
+            return results
+        for workload, config in pairs:
+            results[(workload, config.name)] = self.run(workload, config)
+        return results

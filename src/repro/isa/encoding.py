@@ -1,0 +1,210 @@
+"""Binary encode/decode for the RV64IM+FD subset.
+
+The simulators operate on pre-decoded :class:`~repro.isa.instructions.Instruction`
+objects, but real 32-bit RISC-V encodings are still produced and consumed
+here: programs can be serialized to flat instruction memory (as a real
+checkpointed memory image would contain) and decoded back, and the encoder /
+decoder pair is a strong consistency check on the ISA table.
+
+Only the standard 32-bit formats are implemented (R, I, S, B, U, J, R4);
+the compressed extension is out of scope for this study, matching the
+paper's RV64GC-minus-C workloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstruction, IsaError
+from repro.isa.instructions import (
+    Fmt,
+    Instruction,
+    OPCODE_OP_FP,
+    SPECS,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+#: For OP-FP conversions the rs2 *field* is a sub-opcode, not a register.
+_FCVT_RS2_FIELD = {
+    "fcvt.d.w": 0x0,
+    "fcvt.d.l": 0x2,
+    "fcvt.w.d": 0x0,
+    "fcvt.l.d": 0x2,
+    "fsqrt.d": 0x0,
+    "fmv.d.x": 0x0,
+    "fmv.x.d": 0x0,
+}
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def _check_range(value: int, bits: int, what: str) -> None:
+    low = -(1 << (bits - 1))
+    high = (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise IsaError(f"{what} {value} does not fit in {bits} bits")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` as a 32-bit little-endian RISC-V instruction word."""
+    spec = instr.spec
+    opcode = spec.opcode
+    fmt = spec.fmt
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    imm = instr.imm
+
+    if fmt is Fmt.R:
+        return (spec.funct7 << 25 | rs2 << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if fmt is Fmt.R2:
+        rs2_field = _FCVT_RS2_FIELD[instr.mnemonic]
+        return (spec.funct7 << 25 | rs2_field << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if fmt is Fmt.R4:
+        fmt2 = spec.funct7  # two-bit fmt field for D ops
+        return (instr.rs3 << 27 | fmt2 << 25 | rs2 << 20 | rs1 << 15
+                | 0x7 << 12 | rd << 7 | opcode)
+    if fmt in (Fmt.I, Fmt.I_MEM, Fmt.I_JALR):
+        _check_range(imm, 12, "I-immediate")
+        return ((imm & 0xFFF) << 20 | rs1 << 15 | spec.funct3 << 12
+                | rd << 7 | opcode)
+    if fmt is Fmt.I_SHIFT:
+        max_shamt = 64 if opcode == 0x13 else 32
+        if not 0 <= imm < max_shamt:
+            raise IsaError(f"shift amount {imm} out of range")
+        arith_bit = 1 if instr.mnemonic.startswith("sra") else 0
+        return (arith_bit << 30 | imm << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if fmt is Fmt.S:
+        _check_range(imm, 12, "S-immediate")
+        value = imm & 0xFFF
+        return ((value >> 5) << 25 | rs2 << 20 | rs1 << 15
+                | spec.funct3 << 12 | (value & 0x1F) << 7 | opcode)
+    if fmt is Fmt.B:
+        _check_range(imm, 13, "branch offset")
+        if imm & 1:
+            raise IsaError(f"branch offset {imm} is not even")
+        value = imm & 0x1FFF
+        return (((value >> 12) & 1) << 31 | ((value >> 5) & 0x3F) << 25
+                | rs2 << 20 | rs1 << 15 | spec.funct3 << 12
+                | ((value >> 1) & 0xF) << 8 | ((value >> 11) & 1) << 7
+                | opcode)
+    if fmt is Fmt.U:
+        if not 0 <= imm < (1 << 20):
+            raise IsaError(f"U-immediate {imm} out of range")
+        return imm << 12 | rd << 7 | opcode
+    if fmt is Fmt.J:
+        _check_range(imm, 21, "jump offset")
+        if imm & 1:
+            raise IsaError(f"jump offset {imm} is not even")
+        value = imm & 0x1FFFFF
+        return (((value >> 20) & 1) << 31 | ((value >> 1) & 0x3FF) << 21
+                | ((value >> 11) & 1) << 20 | ((value >> 12) & 0xFF) << 12
+                | rd << 7 | opcode)
+    if fmt is Fmt.NONE:
+        if instr.mnemonic == "ecall":
+            return 0x00000073
+        if instr.mnemonic == "fence":
+            return 0x0000000F
+    raise IsaError(f"cannot encode format {fmt} for {instr.mnemonic}")
+
+
+def _build_decode_tables() -> tuple[dict, dict, dict]:
+    """Index the spec table by (opcode, funct3[, funct7]) for decoding."""
+    by_of3f7: dict[tuple[int, int, int], str] = {}
+    by_of3: dict[tuple[int, int], str] = {}
+    by_opcode: dict[int, str] = {}
+    for mnemonic, spec in SPECS.items():
+        if spec.fmt is Fmt.I_SHIFT:
+            continue  # shifts decode via the shamt/arith-bit special case
+        if spec.fmt is Fmt.R:
+            by_of3f7[(spec.opcode, spec.funct3, spec.funct7)] = mnemonic
+        elif spec.fmt is Fmt.R2:
+            key = (spec.opcode, spec.funct3, spec.funct7,
+                   _FCVT_RS2_FIELD[mnemonic])
+            by_of3f7[key] = mnemonic
+        elif spec.fmt in (Fmt.I, Fmt.I_MEM, Fmt.I_JALR, Fmt.S, Fmt.B):
+            by_of3[(spec.opcode, spec.funct3)] = mnemonic
+        elif spec.fmt in (Fmt.U, Fmt.J, Fmt.R4, Fmt.NONE):
+            by_opcode[spec.opcode] = mnemonic
+    return by_of3f7, by_of3, by_opcode
+
+
+_BY_OF3F7, _BY_OF3, _BY_OPCODE = _build_decode_tables()
+
+_R4_OPCODES = {SPECS[m].opcode: m
+               for m in ("fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d")}
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode a 32-bit instruction ``word`` into an :class:`Instruction`."""
+    word &= _MASK32
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in _R4_OPCODES:
+        rs3 = (word >> 27) & 0x1F
+        return Instruction(_R4_OPCODES[opcode], rd=rd, rs1=rs1, rs2=rs2,
+                           rs3=rs3, pc=pc)
+    if opcode == 0x73 and word == 0x00000073:
+        return Instruction("ecall", pc=pc)
+    if opcode == 0x0F:
+        return Instruction("fence", pc=pc)
+
+    # Shifts first: the RV64 shamt field overlaps funct7, so they never
+    # decode through the (opcode, funct3, funct7) table.
+    if opcode in (0x13, 0x1B) and funct3 in (0x1, 0x5):
+        arith = (word >> 30) & 1
+        wide = opcode == 0x13
+        if funct3 == 0x1:
+            mnemonic = "slli" if wide else "slliw"
+        elif arith:
+            mnemonic = "srai" if wide else "sraiw"
+        else:
+            mnemonic = "srli" if wide else "srliw"
+        shamt = (word >> 20) & (0x3F if wide else 0x1F)
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt, pc=pc)
+
+    mnemonic = _BY_OF3F7.get((opcode, funct3, funct7))
+    if mnemonic is not None:
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, pc=pc)
+
+    if opcode == OPCODE_OP_FP:
+        # R2-format FP ops: rs2 field is a sub-opcode.
+        mnemonic = _BY_OF3F7.get((opcode, funct3, funct7, rs2))
+        if mnemonic is not None:
+            return Instruction(mnemonic, rd=rd, rs1=rs1, pc=pc)
+
+    mnemonic = _BY_OF3.get((opcode, funct3))
+    if mnemonic is not None:
+        spec = SPECS[mnemonic]
+        if spec.fmt in (Fmt.I, Fmt.I_MEM, Fmt.I_JALR):
+            imm = _sign_extend(word >> 20, 12)
+            return Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm, pc=pc)
+        if spec.fmt is Fmt.S:
+            imm = _sign_extend((funct7 << 5) | rd, 12)
+            return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm, pc=pc)
+        if spec.fmt is Fmt.B:
+            raw = (((word >> 31) & 1) << 12 | ((word >> 7) & 1) << 11
+                   | ((word >> 25) & 0x3F) << 5 | ((word >> 8) & 0xF) << 1)
+            imm = _sign_extend(raw, 13)
+            return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm, pc=pc)
+
+    mnemonic = _BY_OPCODE.get(opcode)
+    if mnemonic is not None:
+        spec = SPECS[mnemonic]
+        if spec.fmt is Fmt.U:
+            return Instruction(mnemonic, rd=rd, imm=word >> 12, pc=pc)
+        if spec.fmt is Fmt.J:
+            raw = (((word >> 31) & 1) << 20 | ((word >> 12) & 0xFF) << 12
+                   | ((word >> 20) & 1) << 11 | ((word >> 21) & 0x3FF) << 1)
+            imm = _sign_extend(raw, 21)
+            return Instruction(mnemonic, rd=rd, imm=imm, pc=pc)
+
+    raise IllegalInstruction(f"cannot decode word 0x{word:08x} at pc 0x{pc:x}")

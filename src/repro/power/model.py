@@ -1,0 +1,402 @@
+"""The structural power model — our Cadence Joules.
+
+Power is computed per component as::
+
+    leakage   = cells x per-cell leakage                      (always on)
+    internal  = clock energy of the component's flops, scaled by a
+                clock-gating factor derived from its utilization
+    switching = sum over events of (event count x bits x per-bit energy)
+
+Event counts come from the cycle model's activity statistics (the "trace
+file"), cell counts from :mod:`repro.power.area` (the "mapped netlist"),
+and per-bit energies from :mod:`repro.power.technology` (the "liberty
+characterization").  ``COMPONENT_ENERGY_SCALE`` holds one global cell-
+sizing factor per component — the single calibration knob, set once
+against the paper's MegaBOOM averages and never varied per workload.
+
+Example::
+
+    model = PowerModel(MEGA_BOOM)
+    report = model.report(stats, workload="sha")
+    print(report.format_table())
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PowerModelError
+from repro.power.area import (
+    ANALYZED_COMPONENTS,
+    cache_access_bits,
+    component_areas,
+    ComponentArea,
+    REST_OF_TILE,
+    _FETCH_ENTRY_BITS,
+    _PREG_TAG_BITS,
+    _ROB_ENTRY_BITS,
+    _UOP_PAYLOAD_BITS,
+)
+from repro.power.report import ComponentPower, PowerReport
+from repro.power.technology import ASAP7, TechnologyCard
+from repro.uarch.config import BoomConfig
+from repro.uarch.stats import CoreStats, IssueQueueStats
+
+#: Global per-component cell-sizing calibration (drive strengths); one
+#: constant per component for the whole study.
+COMPONENT_ENERGY_SCALE: dict[str, float] = {
+    "branch_predictor": 90.86,
+    "fetch_buffer": 1.78,
+    "int_rename": 8.77,
+    "fp_rename": 22.59,
+    "int_issue": 6.72,
+    "mem_issue": 4.92,
+    "fp_issue": 4.94,
+    "rob": 5.0,
+    "int_regfile": 5.53,
+    "fp_regfile": 16.72,
+    "lsu": 7.23,
+    "dcache": 20.14,
+    "icache": 4.44,
+    REST_OF_TILE: 8.42,
+}
+
+
+#: Dynamic-energy exponent of the machine-width cell-sizing effect.
+_WIDTH_EXPONENT = 0.7
+#: Components whose width scaling is already explicit (RF ports; the
+#: fetch buffer's width effect is captured by its fill/drain activity).
+_WIDTH_EXEMPT = frozenset(
+    {"int_regfile", "fp_regfile", "fetch_buffer"})
+
+
+class PowerModel:
+    """Structural leakage/internal/switching model for one configuration."""
+
+    def __init__(self, config: BoomConfig,
+                 tech: TechnologyCard = ASAP7) -> None:
+        self.config = config
+        self.tech = tech
+        self.areas = component_areas(config)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _leakage_mw(self, area: ComponentArea) -> float:
+        tech = self.tech
+        nanowatts = (area.flops * tech.leak_flop_nw
+                     + area.gates * tech.leak_gate_nw
+                     + (area.sram_bits + area.cam_bits)
+                     * tech.leak_sram_nw_per_bit)
+        return nanowatts * 1e-6
+
+    def _sram_read_fj(self, bits_per_access: float,
+                      total_bits: float) -> float:
+        """SRAM read energy: accessed bits plus bitline cost of the array."""
+        array_factor = 0.6 + 0.4 * math.sqrt(max(total_bits, 1.0) / 4096.0)
+        return self.tech.sram_read_fj_per_bit * bits_per_access \
+            * array_factor
+
+    def _sram_write_fj(self, bits_per_access: float,
+                       total_bits: float) -> float:
+        array_factor = 0.6 + 0.4 * math.sqrt(max(total_bits, 1.0) / 4096.0)
+        return self.tech.sram_write_fj_per_bit * bits_per_access \
+            * array_factor
+
+    def _mw(self, total_fj: float, cycles: int) -> float:
+        """Convert accumulated femtojoules over a window to milliwatts."""
+        seconds = cycles * self.tech.cycle_seconds
+        return total_fj * 1e-15 / seconds * 1e3 if seconds else 0.0
+
+    def _internal_mw(self, area: ComponentArea, cycles: int,
+                     utilization: float) -> float:
+        gating = self.tech.idle_clock_fraction \
+            + (1.0 - self.tech.idle_clock_fraction) * min(1.0, utilization)
+        total_fj = area.flops * self.tech.flop_clock_fj * cycles * gating
+        return self._mw(total_fj, cycles)
+
+    # ------------------------------------------------------------------
+    # the report
+    # ------------------------------------------------------------------
+
+    def report(self, stats: CoreStats, workload: str = "?") -> PowerReport:
+        if stats.cycles <= 0:
+            raise PowerModelError("stats window has no cycles")
+        report = PowerReport(config_name=self.config.name,
+                             workload=workload, cycles=stats.cycles)
+        builders = {
+            "branch_predictor": self._branch_predictor,
+            "fetch_buffer": self._fetch_buffer,
+            "int_rename": lambda s: self._rename(s, "int"),
+            "fp_rename": lambda s: self._rename(s, "fp"),
+            "int_issue": lambda s: self._issue_queue(s, "int"),
+            "mem_issue": lambda s: self._issue_queue(s, "mem"),
+            "fp_issue": lambda s: self._issue_queue(s, "fp"),
+            "rob": self._rob,
+            "int_regfile": lambda s: self._regfile(s, "int"),
+            "fp_regfile": lambda s: self._regfile(s, "fp"),
+            "lsu": self._lsu,
+            "dcache": lambda s: self._cache(s, "dcache"),
+            "icache": lambda s: self._cache(s, "icache"),
+            REST_OF_TILE: self._rest_of_tile,
+        }
+        width_factor = (self.config.decode_width / 4.0) ** _WIDTH_EXPONENT
+        for name, builder in builders.items():
+            scale = COMPONENT_ENERGY_SCALE[name]
+            leakage, internal, switching = builder(stats)
+            if name not in _WIDTH_EXEMPT:
+                # Wider machines size up drivers and wiring throughout
+                # their datapaths; dynamic energy per event follows.
+                internal *= width_factor
+                switching *= width_factor
+            report.components[name] = ComponentPower(
+                leakage_mw=leakage * scale,
+                internal_mw=internal * scale,
+                switching_mw=switching * scale)
+        report.int_issue_slot_mw = self._issue_slot_power(stats)
+        return report
+
+    # ------------------------------------------------------------------
+    # per-component builders: return (leakage, internal, switching) in mW
+    # ------------------------------------------------------------------
+
+    def _branch_predictor(self, stats: CoreStats):
+        area = self.areas["branch_predictor"]
+        predictor = self.config.predictor
+        p = stats.predictor
+        cycles = stats.cycles
+        if predictor.kind == "gshare":
+            table_bits = predictor.gshare_entries * 2.0
+            read_bits = 2.0
+            write_bits = 2.0
+        else:
+            entry_bits = 3.0 + 2.0 + predictor.tage_tag_bits
+            table_bits = (predictor.tage_tables
+                          * predictor.tage_table_entries * entry_bits
+                          + predictor.tage_base_entries * 2.0)
+            read_bits = entry_bits
+            write_bits = entry_bits
+        btb_bits = predictor.btb_entries * 63.0
+        # Predictor tables are read whole-row every cycle without the
+        # sub-banking of a big cache, so access energy is linear in the
+        # array size (the reason halving the structures halves BP power).
+        reference_bits = 4096 * 2.0 + 4 * 512 * 14.0
+        dir_fj = self.tech.sram_read_fj_per_bit * read_bits \
+            * 24.0 * (0.15 + 0.85 * table_bits / reference_bits)
+        btb_fj = self.tech.sram_read_fj_per_bit * 63.0 \
+            * 5.0 * (0.15 + 0.85 * btb_bits / (512 * 63.0))
+        energy = p.dir_table_reads * dir_fj
+        energy += (p.dir_updates + p.allocations) * dir_fj * 1.3
+        energy += p.btb_lookups * btb_fj
+        energy += p.btb_updates * btb_fj * 1.3
+        energy += (p.ras_pushes + p.ras_pops) * 32.0 \
+            * self.tech.flop_write_fj
+        # Hashing / select logic evaluates on every lookup.
+        energy += p.lookups * area.gates * 0.10 * self.tech.gate_switch_fj
+        utilization = p.lookups / cycles
+        # Internal power is bank precharge: scales with array size and
+        # lookup rate, not with a fixed flop population.
+        internal_fj = (table_bits + btb_bits) * 0.0022 \
+            * self.tech.flop_clock_fj * cycles \
+            * (0.1 + 0.9 * min(1.0, utilization))
+        return (self._leakage_mw(area),
+                self._mw(internal_fj, cycles),
+                self._mw(energy, cycles))
+
+    def _fetch_buffer(self, stats: CoreStats):
+        area = self.areas["fetch_buffer"]
+        f = stats.frontend
+        cycles = stats.cycles
+        energy = f.fetch_buffer_writes * _FETCH_ENTRY_BITS \
+            * self.tech.flop_write_fj
+        energy += f.fetch_buffer_reads * _FETCH_ENTRY_BITS * 0.5 \
+            * self.tech.gate_switch_fj
+        utilization = f.fetch_buffer_occupancy \
+            / (cycles * self.config.fetch_buffer_entries)
+        return (self._leakage_mw(area),
+                self._internal_mw(area, cycles, utilization),
+                self._mw(energy, cycles))
+
+    def _rename(self, stats: CoreStats, kind: str):
+        area = self.areas[f"{kind}_rename"]
+        r = stats.int_rename if kind == "int" else stats.fp_rename
+        cycles = stats.cycles
+        phys = self.config.int_phys_regs if kind == "int" \
+            else self.config.fp_phys_regs
+        energy = (r.map_reads + r.map_writes) * _PREG_TAG_BITS \
+            * self.tech.flop_write_fj
+        # Allocation-list snapshot: copies a phys-regs-wide bit vector.
+        energy += (r.snapshots + r.snapshot_restores) * phys \
+            * self.tech.flop_write_fj
+        energy += (r.freelist_allocs + r.freelist_frees) \
+            * (_PREG_TAG_BITS + 8.0) * self.tech.flop_write_fj
+        utilization = (r.map_writes + r.snapshots) \
+            / (cycles * self.config.decode_width)
+        return (self._leakage_mw(area),
+                self._internal_mw(area, cycles, utilization),
+                self._mw(energy, cycles))
+
+    def _wakeup_ports(self, queue: str) -> int:
+        """Wakeup broadcast ports seen by each queue entry's comparators.
+
+        The number of simultaneously-broadcast destination tags tracks the
+        register-file write-port count, so every entry in a wider machine
+        carries proportionally more CAM comparators.
+        """
+        if queue == "fp":
+            return self.config.fp_rf_write_ports
+        return self.config.int_rf_write_ports
+
+    def _issue_queue(self, stats: CoreStats, queue: str):
+        area = self.areas[f"{queue}_issue"]
+        q = stats.issue_queue(queue)
+        cycles = stats.cycles
+        entries = {"int": self.config.int_iq_entries,
+                   "mem": self.config.mem_iq_entries,
+                   "fp": self.config.fp_iq_entries}[queue]
+        # Per-entry fabric width scales with the broadcast port count.
+        port_factor = self._wakeup_ports(queue) / 6.0
+        energy = q.writes * _UOP_PAYLOAD_BITS * self.tech.flop_write_fj
+        # Collapsing shifts rewrite whole entries (Key Takeaway #5); the
+        # ring alternative instead updates one age-matrix row per write.
+        energy += q.shifts * _UOP_PAYLOAD_BITS * self.tech.flop_write_fj
+        if self.config.issue_queue_kind == "ring":
+            energy += q.writes * entries * self.tech.cam_compare_fj_per_bit
+        # Wakeup: every broadcast compares against every occupied entry,
+        # on every broadcast port.
+        average_occupancy = q.occupancy / cycles if cycles else 0.0
+        energy += q.wakeup_broadcasts * average_occupancy * 2.0 \
+            * _PREG_TAG_BITS * self.tech.cam_compare_fj_per_bit \
+            * port_factor * 6.0
+        # Select tree evaluates over occupied entries each cycle.
+        energy += q.occupancy * 14.0 * self.tech.gate_switch_fj
+        # Occupied entries burn clock power: occupancy-driven (Fig. 8).
+        occupied_clock_fj = q.occupancy * _UOP_PAYLOAD_BITS \
+            * self.tech.flop_clock_fj * (0.4 + 0.6 * port_factor * 6.0 / 4.0)
+        idle_fraction = self.tech.idle_clock_fraction
+        idle_clock_fj = (cycles * entries - q.occupancy) \
+            * _UOP_PAYLOAD_BITS * self.tech.flop_clock_fj * idle_fraction
+        internal = self._mw(occupied_clock_fj + idle_clock_fj, cycles)
+        internal += self._internal_mw(
+            ComponentArea(flops=0, gates=area.gates), cycles, 0.0)
+        return (self._leakage_mw(area), internal, self._mw(energy, cycles))
+
+    def _rob(self, stats: CoreStats):
+        area = self.areas["rob"]
+        r = stats.rob
+        cycles = stats.cycles
+        energy = r.dispatch_writes * _ROB_ENTRY_BITS * self.tech.flop_write_fj
+        energy += r.commit_reads * _ROB_ENTRY_BITS * 0.5 \
+            * self.tech.gate_switch_fj
+        utilization = r.occupancy / (cycles * self.config.rob_entries)
+        return (self._leakage_mw(area),
+                self._internal_mw(area, cycles, utilization),
+                self._mw(energy, cycles))
+
+    def _regfile(self, stats: CoreStats, kind: str):
+        area = self.areas[f"{kind}_regfile"]
+        r = stats.int_regfile if kind == "int" else stats.fp_regfile
+        cycles = stats.cycles
+        if kind == "int":
+            read_ports = self.config.int_rf_read_ports
+            write_ports = self.config.int_rf_write_ports
+        else:
+            read_ports = self.config.fp_rf_read_ports
+            write_ports = self.config.fp_rf_write_ports
+        from repro.power.area import bypass_factor
+
+        # Every access drives the port/bypass fabric, so the static floor
+        # (leakage + residual clock of the mux fabric) and the per-access
+        # energies all scale with the super-linear bypass factor
+        # (Key Takeaways #1 and #2).
+        factor = bypass_factor(read_ports, write_ports)
+        energy = r.reads * 64.0 * 2.0 * factor * self.tech.gate_switch_fj
+        energy += r.writes * 64.0 * 3.0 * factor * self.tech.gate_switch_fj
+        energy += r.bypasses * 64.0 * 1.4 * factor \
+            * self.tech.gate_switch_fj
+        utilization = (r.reads + r.writes) \
+            / (cycles * (read_ports + write_ports))
+        internal_fj = factor * 64.0 * (1.0 + 5.0 * min(1.0, utilization)) \
+            * self.tech.flop_clock_fj * cycles
+        return (self._leakage_mw(area),
+                self._mw(internal_fj, cycles),
+                self._mw(energy, cycles))
+
+    def _lsu(self, stats: CoreStats):
+        area = self.areas["lsu"]
+        l = stats.lsu
+        cycles = stats.cycles
+        energy = l.ldq_writes * 78.0 * self.tech.flop_write_fj
+        energy += l.stq_writes * 142.0 * self.tech.flop_write_fj
+        energy += l.cam_searches * 48.0 * self.tech.cam_compare_fj_per_bit
+        energy += l.forwards * 64.0 * self.tech.gate_switch_fj
+        capacity = self.config.ldq_entries + self.config.stq_entries
+        utilization = (l.ldq_occupancy + l.stq_occupancy) \
+            / (cycles * capacity)
+        return (self._leakage_mw(area),
+                self._internal_mw(area, cycles, utilization),
+                self._mw(energy, cycles))
+
+    def _cache(self, stats: CoreStats, which: str):
+        area = self.areas[which]
+        c = stats.icache if which == "icache" else stats.dcache
+        params = self.config.icache if which == "icache" \
+            else self.config.dcache
+        cycles = stats.cycles
+        total_bits = params.size_bytes * 8.0
+        access_bits = cache_access_bits(params)
+        line_bits = params.line_bytes * 8.0
+        energy = c.reads * self._sram_read_fj(access_bits, total_bits)
+        energy += c.writes * self._sram_write_fj(access_bits, total_bits)
+        # Refills/writebacks stream into one sub-bank at half weight.
+        energy += (c.misses + c.writebacks) * 0.5 \
+            * self._sram_write_fj(line_bits, total_bits)
+        energy += c.mshr_allocs * 120.0 * self.tech.flop_write_fj
+        switching = self._mw(energy, cycles)
+        # Internal power is array precharge: proportional to the access
+        # energy, plus the MSHR/control flop clock.
+        internal = 0.75 * switching + self._internal_mw(
+            ComponentArea(flops=area.flops), cycles,
+            (c.reads + c.writes) / cycles)
+        return (self._leakage_mw(area), internal, switching)
+
+    def _rest_of_tile(self, stats: CoreStats):
+        area = self.areas[REST_OF_TILE]
+        e = stats.execute
+        cycles = stats.cycles
+        g = self.tech.gate_switch_fj
+        energy = e.alu_ops * 950.0 * g
+        energy += e.mul_ops * 5200.0 * g
+        energy += e.div_busy_cycles * 900.0 * g
+        energy += (e.fp_alu_ops + e.fp_cvt_ops) * 6800.0 * g
+        energy += e.fp_mul_ops * 11500.0 * g
+        energy += e.fp_div_ops * 9000.0 * g
+        energy += e.agu_ops * 700.0 * g
+        energy += stats.retired * 260.0 * g  # decode, FTQ, commit plumbing
+        utilization = stats.retired / (cycles * self.config.decode_width)
+        return (self._leakage_mw(area),
+                self._internal_mw(area, cycles, utilization),
+                self._mw(energy, cycles))
+
+    # ------------------------------------------------------------------
+    # Fig. 8: per-slot power of the integer issue queue
+    # ------------------------------------------------------------------
+
+    def _issue_slot_power(self, stats: CoreStats) -> list[float]:
+        q: IssueQueueStats = stats.int_iq
+        cycles = stats.cycles
+        if not q.slot_occupancy or cycles == 0:
+            return []
+        scale = COMPONENT_ENERGY_SCALE["int_issue"]
+        slots = []
+        for occupancy, writes in zip(q.slot_occupancy, q.slot_writes):
+            clock_fj = occupancy * _UOP_PAYLOAD_BITS * self.tech.flop_clock_fj
+            idle_fj = (cycles - occupancy) * _UOP_PAYLOAD_BITS \
+                * self.tech.flop_clock_fj * self.tech.idle_clock_fraction
+            write_fj = writes * _UOP_PAYLOAD_BITS * self.tech.flop_write_fj
+            wakeup_fj = occupancy * 2.0 * _PREG_TAG_BITS \
+                * self.tech.cam_compare_fj_per_bit * 0.5
+            slots.append(self._mw(clock_fj + idle_fj + write_fj + wakeup_fj,
+                                  cycles) * scale)
+        return slots

@@ -1,0 +1,108 @@
+"""The technology card: an ASAP7-like 7-nm predictive process at 500 MHz.
+
+Cadence Joules computes power from liberty-file cell characterizations;
+this module plays the role of those liberty files.  Per-event energies
+(femtojoules) and per-cell leakage (nanowatts) are single global constants
+— calibrated once against the paper's absolute numbers and never adjusted
+per workload or per configuration, so every relative trend in the results
+is produced by structure sizes and simulated activity, not by tuning
+(DESIGN.md §1).
+
+The three power components follow §II-E of the paper:
+
+* **leakage** — per-cell static draw, always on;
+* **internal** — short-circuit and internal-net power, dominated by the
+  clock network and flop clocking (scaled by per-component clock gating);
+* **switching** — load-capacitance charging on logic evaluation and
+  SRAM/CAM accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PowerModelError
+
+#: Effective threshold voltage of the 7-nm cell library: the linear
+#: alpha-power timing model below caps frequency at (V - VT) scaling.
+_THRESHOLD_V = 0.30
+
+
+@dataclass(frozen=True)
+class TechnologyCard:
+    """Per-cell energy and leakage characterization."""
+
+    name: str = "asap7-like-7nm"
+    voltage: float = 0.70
+    clock_hz: float = 500e6
+
+    # -- internal (clock) energy, femtojoules per flop per clocked cycle --
+    flop_clock_fj: float = 0.38
+    # -- switching energies, femtojoules per event --
+    flop_write_fj: float = 0.55
+    gate_switch_fj: float = 0.095
+    sram_read_fj_per_bit: float = 0.135
+    sram_write_fj_per_bit: float = 0.185
+    cam_compare_fj_per_bit: float = 0.19
+    wire_fj_per_bit_mm: float = 0.18
+
+    # -- leakage, nanowatts per cell (or per bit for SRAM) --
+    leak_flop_nw: float = 0.85
+    leak_gate_nw: float = 0.22
+    leak_sram_nw_per_bit: float = 0.016
+
+    #: fraction of a component's flops still clocked when idle (imperfect
+    #: clock gating; Joules reports the same residual internal power)
+    idle_clock_fraction: float = 0.06
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def max_clock_hz(self, voltage: float) -> float:
+        """Highest feasible clock at ``voltage`` (alpha-power model)."""
+        if voltage <= _THRESHOLD_V:
+            return 0.0
+        return self.clock_hz * (voltage - _THRESHOLD_V) \
+            / (self.voltage - _THRESHOLD_V)
+
+    def at_operating_point(self, voltage: float,
+                           clock_hz: float) -> "TechnologyCard":
+        """A DVFS-scaled card: the paper's fixed 500 MHz/0.7 V point
+        generalized to any feasible (voltage, frequency) pair.
+
+        Dynamic (internal + switching) energies scale with V^2; leakage
+        scales with V^3 (DIBL-dominated short-channel leakage).  The
+        requested clock must be timing-feasible at the requested voltage.
+        """
+        if voltage <= _THRESHOLD_V:
+            raise PowerModelError(
+                f"voltage {voltage} V is below the {_THRESHOLD_V} V "
+                f"threshold")
+        if clock_hz > self.max_clock_hz(voltage) * (1 + 1e-9):
+            raise PowerModelError(
+                f"{clock_hz / 1e6:.0f} MHz is not timing-feasible at "
+                f"{voltage} V (max "
+                f"{self.max_clock_hz(voltage) / 1e6:.0f} MHz)")
+        dynamic = (voltage / self.voltage) ** 2
+        leakage = (voltage / self.voltage) ** 3
+        return replace(
+            self,
+            name=f"{self.name}@{voltage:.2f}V/{clock_hz / 1e6:.0f}MHz",
+            voltage=voltage,
+            clock_hz=clock_hz,
+            flop_clock_fj=self.flop_clock_fj * dynamic,
+            flop_write_fj=self.flop_write_fj * dynamic,
+            gate_switch_fj=self.gate_switch_fj * dynamic,
+            sram_read_fj_per_bit=self.sram_read_fj_per_bit * dynamic,
+            sram_write_fj_per_bit=self.sram_write_fj_per_bit * dynamic,
+            cam_compare_fj_per_bit=self.cam_compare_fj_per_bit * dynamic,
+            wire_fj_per_bit_mm=self.wire_fj_per_bit_mm * dynamic,
+            leak_flop_nw=self.leak_flop_nw * leakage,
+            leak_gate_nw=self.leak_gate_nw * leakage,
+            leak_sram_nw_per_bit=self.leak_sram_nw_per_bit * leakage,
+        )
+
+
+#: The card used throughout the study (ASAP7 at 500 MHz, like the paper).
+ASAP7 = TechnologyCard()

@@ -1,0 +1,12 @@
+"""Profiling: basic-block discovery and BBV collection (gem5 analogue)."""
+
+from repro.profiling.basic_blocks import BasicBlock, block_map, discover_blocks
+from repro.profiling.bbv import BBVProfile, BBVProfiler
+
+__all__ = [
+    "BasicBlock",
+    "block_map",
+    "discover_blocks",
+    "BBVProfile",
+    "BBVProfiler",
+]

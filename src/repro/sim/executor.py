@@ -1,0 +1,139 @@
+"""The functional ISA simulator (our Spike analogue).
+
+The executor runs a pre-decoded :class:`~repro.isa.program.Program` against
+an :class:`~repro.sim.state.ArchState` at interpreter speed.  It serves
+three roles in the experimental flow (paper Fig. 4):
+
+1. **profiling** — with a ``control_hook`` installed it reports every
+   dynamic basic block so :mod:`repro.profiling` can build the basic-block
+   vectors gem5 produces in the paper's flow;
+2. **checkpoint creation** — ``run(max_instructions=N)`` retires exactly
+   ``N`` instructions so checkpoints land on precise SimPoint boundaries;
+3. **reference execution** — workload self-checks compare detailed-core
+   results against this model.
+
+Example::
+
+    from repro.isa.assembler import assemble
+    from repro.sim.executor import Executor
+
+    program = assemble(SOURCE)
+    executor = Executor(program)
+    executor.run()
+    assert executor.state.exit_code == 0
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.isa.program import Program, TEXT_BASE
+from repro.sim.semantics import SEMANTICS
+from repro.sim.state import ArchState
+
+#: ``control_hook(block_start_pc, block_end_pc)`` is invoked when a dynamic
+#: basic block ends (i.e., at every executed control-flow instruction); the
+#: block spans the instructions from start to end inclusive.
+ControlHook = Callable[[int, int], None]
+
+_DEFAULT_FUEL = 1 << 62
+
+
+class Executor:
+    """Functional simulator bound to one program and one state."""
+
+    def __init__(self, program: Program,
+                 state: ArchState | None = None) -> None:
+        self.program = program
+        self.state = state if state is not None else \
+            ArchState.for_program(program)
+        # Bind semantics once: the hot loop indexes (fn, instr, is_control).
+        self._ops = [(SEMANTICS[instr.mnemonic], instr,
+                      instr.opclass.is_control)
+                     for instr in program.instructions]
+
+    def run(self, max_instructions: Optional[int] = None,
+            control_hook: Optional[ControlHook] = None) -> int:
+        """Execute until exit or until ``max_instructions`` retire.
+
+        Returns the number of instructions retired by this call.  With a
+        ``control_hook``, the hook fires once per executed control-flow
+        instruction with the dynamic basic block it terminates; the final
+        partial block (ended by exit or by the instruction budget) is also
+        reported.
+        """
+        state = self.state
+        state.require_not_exited()
+        if control_hook is None:
+            return self._run_plain(max_instructions)
+        return self._run_profiled(max_instructions, control_hook)
+
+    def _run_plain(self, max_instructions: Optional[int]) -> int:
+        state = self.state
+        ops = self._ops
+        count = len(ops)
+        pc = state.pc
+        fuel = max_instructions if max_instructions is not None \
+            else _DEFAULT_FUEL
+        retired = 0
+        while fuel > 0:
+            index = (pc - TEXT_BASE) >> 2
+            if not 0 <= index < count:
+                raise SimulationError(f"pc left text segment: 0x{pc:x}")
+            fn, instr, _ = ops[index]
+            next_pc = fn(state, instr)
+            retired += 1
+            fuel -= 1
+            if state.exited:
+                pc += 4
+                break
+            pc = next_pc if next_pc is not None else pc + 4
+        state.pc = pc
+        state.retired += retired
+        return retired
+
+    def _run_profiled(self, max_instructions: Optional[int],
+                      control_hook: ControlHook) -> int:
+        state = self.state
+        ops = self._ops
+        count = len(ops)
+        pc = state.pc
+        fuel = max_instructions if max_instructions is not None \
+            else _DEFAULT_FUEL
+        retired = 0
+        block_start = pc
+        last_pc = pc
+        while fuel > 0:
+            index = (pc - TEXT_BASE) >> 2
+            if not 0 <= index < count:
+                raise SimulationError(f"pc left text segment: 0x{pc:x}")
+            fn, instr, is_control = ops[index]
+            next_pc = fn(state, instr)
+            retired += 1
+            fuel -= 1
+            last_pc = pc
+            if state.exited:
+                pc += 4
+                break
+            if is_control:
+                control_hook(block_start, last_pc)
+                pc = next_pc if next_pc is not None else pc + 4
+                block_start = pc
+            else:
+                pc = next_pc if next_pc is not None else pc + 4
+        if retired and (state.exited or pc != block_start):
+            # Close the trailing partial block (exit / fuel exhausted).
+            if last_pc >= block_start:
+                control_hook(block_start, last_pc)
+        state.pc = pc
+        state.retired += retired
+        return retired
+
+    def run_to_completion(self, limit: int = 200_000_000) -> int:
+        """Run until the program exits; raise if ``limit`` is exceeded."""
+        retired = self.run(max_instructions=limit)
+        if not self.state.exited:
+            raise SimulationError(
+                f"program did not exit within {limit} instructions")
+        return retired

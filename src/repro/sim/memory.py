@@ -1,0 +1,120 @@
+"""Sparse, paged byte-addressable memory.
+
+Backing store is a dictionary of 4 KiB ``bytearray`` pages allocated on
+first touch, so a program can scatter data across a 64-bit address space
+without cost.  Accesses are little-endian, matching RISC-V.  The page map
+is also the unit of checkpointing: :meth:`Memory.snapshot_pages` captures
+exactly the touched pages.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+_PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse paged memory with little-endian scalar accessors."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # bulk operations
+    # ------------------------------------------------------------------
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Copy ``data`` into memory starting at ``address``."""
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        offset = 0
+        remaining = len(data)
+        while remaining:
+            page = self._page(address + offset)
+            page_offset = (address + offset) & _PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - page_offset)
+            page[page_offset:page_offset + chunk] = data[offset:offset + chunk]
+            offset += chunk
+            remaining -= chunk
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            page = self._page(address + offset)
+            page_offset = (address + offset) & _PAGE_MASK
+            chunk = min(length - offset, PAGE_SIZE - page_offset)
+            out += page[page_offset:page_offset + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # scalar accessors (the executor's hot path)
+    # ------------------------------------------------------------------
+
+    def load(self, address: int, width: int) -> int:
+        """Load ``width`` bytes at ``address`` as an unsigned integer."""
+        page_offset = address & _PAGE_MASK
+        if page_offset + width <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                page = self._page(address)
+            return int.from_bytes(page[page_offset:page_offset + width],
+                                  "little")
+        return int.from_bytes(self.read_bytes(address, width), "little")
+
+    def store(self, address: int, value: int, width: int) -> None:
+        """Store the low ``width`` bytes of ``value`` at ``address``."""
+        page_offset = address & _PAGE_MASK
+        data = (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+        if page_offset + width <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                page = self._page(address)
+            page[page_offset:page_offset + width] = data
+        else:
+            self.write_bytes(address, data)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_pages(self) -> dict[int, bytes]:
+        """Return an immutable copy of every touched page (by page number)."""
+        return {number: bytes(page) for number, page in self._pages.items()}
+
+    def restore_pages(self, pages: dict[int, bytes]) -> None:
+        """Replace memory contents with a page snapshot."""
+        self._pages = {number: bytearray(page)
+                       for number, page in pages.items()}
+
+    def touched_page_count(self) -> int:
+        """Number of pages that have been allocated."""
+        return len(self._pages)
+
+    def clone(self) -> "Memory":
+        """Return an independent deep copy of this memory."""
+        copy = Memory()
+        copy._pages = {number: bytearray(page)
+                       for number, page in self._pages.items()}
+        return copy
+
+    # ------------------------------------------------------------------
+
+    def _page(self, address: int) -> bytearray:
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        number = address >> PAGE_SHIFT
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[number] = page
+        return page

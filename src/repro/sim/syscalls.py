@@ -1,0 +1,40 @@
+"""Minimal bare-metal syscall layer (the ``ecall`` environment).
+
+Workloads in this study run on a proxy-kernel-like environment, matching
+how the paper's MiBench/Embench binaries run under Spike and the Chipyard
+testbench.  Three calls are implemented:
+
+* ``exit`` (a7 = 93): terminate with exit code a0,
+* ``write`` (a7 = 64): append ``a2`` bytes at address ``a1`` to the
+  program's output buffer (the fd in a0 is ignored),
+* ``print_int`` (a7 = 1): append the decimal rendering of a0 — a
+  convenience used by workload self-checks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.state import ArchState, to_signed
+
+SYS_PRINT_INT = 1
+SYS_WRITE = 64
+SYS_EXIT = 93
+
+
+def handle_ecall(state: ArchState) -> None:
+    """Execute the environment call selected by register a7 (x17)."""
+    number = state.x[17]
+    if number == SYS_EXIT:
+        state.exited = True
+        state.exit_code = state.x[10] & 0xFF
+    elif number == SYS_WRITE:
+        address = state.x[11]
+        length = state.x[12]
+        if length > (1 << 20):
+            raise SimulationError(f"write syscall of {length} bytes refused")
+        state.output += state.memory.read_bytes(address, length)
+    elif number == SYS_PRINT_INT:
+        state.output += str(to_signed(state.x[10])).encode()
+        state.output += b"\n"
+    else:
+        raise SimulationError(f"unsupported syscall number {number}")

@@ -1,0 +1,72 @@
+"""Retire-stream tracing utilities for debugging and validation.
+
+The detailed core and the functional simulator both retire architecturally
+visible instruction streams; :class:`RetireTrace` captures a bounded window
+of the most recent retirements so divergences between the two models can be
+localized in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction: sequence number, pc, and mnemonic."""
+
+    sequence: int
+    pc: int
+    mnemonic: str
+
+
+class RetireTrace:
+    """A bounded ring buffer of retired instructions."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._entries: deque[TraceEntry] = deque(maxlen=capacity)
+        self._sequence = 0
+
+    def record(self, instr: Instruction) -> None:
+        """Append one retired instruction."""
+        self._entries.append(
+            TraceEntry(self._sequence, instr.pc, instr.mnemonic))
+        self._sequence += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Total instructions ever recorded (including evicted ones)."""
+        return self._sequence
+
+    def entries(self) -> list[TraceEntry]:
+        """The retained window, oldest first."""
+        return list(self._entries)
+
+    def last(self) -> TraceEntry | None:
+        """Most recent entry, or ``None`` if empty."""
+        return self._entries[-1] if self._entries else None
+
+    def format(self) -> str:
+        """Human-readable dump of the retained window."""
+        return "\n".join(f"{e.sequence:>10}  0x{e.pc:08x}  {e.mnemonic}"
+                         for e in self._entries)
+
+
+def diff_traces(expected: list[TraceEntry],
+                actual: list[TraceEntry]) -> int | None:
+    """Index of the first mismatching (pc, mnemonic) pair, or ``None``.
+
+    Sequence numbers are ignored so windows from different sources can be
+    compared positionally.
+    """
+    for index, (a, b) in enumerate(zip(expected, actual)):
+        if (a.pc, a.mnemonic) != (b.pc, b.mnemonic):
+            return index
+    if len(expected) != len(actual):
+        return min(len(expected), len(actual))
+    return None

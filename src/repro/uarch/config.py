@@ -1,0 +1,301 @@
+"""BOOM configurations — Table I of the paper.
+
+The paper analyzes three SonicBOOM design points of increasing
+aggressiveness: MediumBOOM (2-wide), LargeBOOM (3-wide) and MegaBOOM
+(4-wide).  Table I itself is not included in the paper text, so parameter
+values here are reconstructed from the public SonicBOOM/Chipyard configs
+plus every constraint the paper states explicitly:
+
+* decode widths 2 / 3 / 4 (§IV-D: sha IPC approaches each width);
+* integer RF ports 6R/3W, 8R/4W, 12R/6W (§IV-B, Integer Register File);
+* FP RF ports double from LargeBOOM to MegaBOOM (Key Takeaway #2);
+* MegaBOOM's integer issue queue has 40 slots (Fig. 8);
+* MediumBOOM's BTB is half the size of the other two (§IV-B, Branch
+  Predictor);
+* LargeBOOM and MegaBOOM have identical L1D size/associativity, but
+  MegaBOOM has two memory units and twice the MSHRs (Key Takeaway #8);
+* LargeBOOM and MegaBOOM share the same L1I configuration (§IV-B).
+
+All three designs run at the same 500 MHz clock (§IV-A), so they differ
+only in IPC and power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+#: The paper's fixed clock for all configurations (§IV-A).
+CLOCK_HZ = 500_000_000
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One L1 cache: size, associativity, line size, and MSHR count."""
+
+    size_bytes: int
+    ways: int
+    mshrs: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ConfigError("cache size must divide into ways * lines")
+        if self.sets & (self.sets - 1):
+            raise ConfigError("cache set count must be a power of two")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class PredictorParams:
+    """Branch predictor structure sizes."""
+
+    kind: str = "tage"            # "tage" or "gshare" (ablation baseline)
+    btb_entries: int = 512
+    ras_entries: int = 32
+    # TAGE: a bimodal base table plus tagged components.
+    tage_base_entries: int = 4096
+    tage_table_entries: int = 512
+    tage_tables: int = 4
+    tage_tag_bits: int = 9
+    tage_history_lengths: tuple[int, ...] = (4, 8, 16, 32)
+    # gshare (used when kind == "gshare"; sized like the predecessor
+    # study's predictor [14])
+    gshare_entries: int = 16384
+    gshare_history_bits: int = 14
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tage", "gshare"):
+            raise ConfigError(f"unknown predictor kind {self.kind!r}")
+        if len(self.tage_history_lengths) != self.tage_tables:
+            raise ConfigError("one history length per TAGE table required")
+
+
+@dataclass(frozen=True)
+class BoomConfig:
+    """A complete BOOM core configuration (one Table I column)."""
+
+    name: str
+    fetch_width: int
+    decode_width: int
+    rob_entries: int
+    int_phys_regs: int
+    fp_phys_regs: int
+    int_iq_entries: int
+    mem_iq_entries: int
+    fp_iq_entries: int
+    int_rf_read_ports: int
+    int_rf_write_ports: int
+    fp_rf_read_ports: int
+    fp_rf_write_ports: int
+    ldq_entries: int
+    stq_entries: int
+    mem_units: int
+    alu_units: int
+    fp_units: int
+    fetch_buffer_entries: int
+    ftq_entries: int
+    max_branches: int        # in-flight branch tags (rename snapshots)
+    predictor: PredictorParams
+    icache: CacheParams
+    dcache: CacheParams
+    #: issue queue implementation: "collapsing" (SonicBOOM's default) or
+    #: "ring" (non-collapsing, age-ordered — the Key Takeaway #5
+    #: alternative in the style of Folegnani & González)
+    issue_queue_kind: str = "collapsing"
+    #: lazy FP allocation-list snapshots: only snapshot the FP rename
+    #: unit on branches while FP instructions are in flight (the
+    #: Key Takeaway #3 optimization)
+    fp_rename_lazy_snapshots: bool = False
+
+    def __post_init__(self) -> None:
+        if self.issue_queue_kind not in ("collapsing", "ring"):
+            raise ConfigError(
+                f"unknown issue queue kind {self.issue_queue_kind!r}")
+        if self.decode_width <= 0 or self.fetch_width < self.decode_width:
+            raise ConfigError("fetch width must cover decode width")
+        if self.rob_entries < 2 * self.decode_width:
+            raise ConfigError("ROB too small for the machine width")
+        if self.int_phys_regs <= 32 or self.fp_phys_regs <= 32:
+            raise ConfigError("need more physical than architectural regs")
+        if min(self.int_iq_entries, self.mem_iq_entries,
+               self.fp_iq_entries) <= 0:
+            raise ConfigError("issue queues need at least one entry")
+        if self.mem_units < 1 or self.alu_units < 1 or self.fp_units < 1:
+            raise ConfigError("need at least one unit of each kind")
+
+    @property
+    def commit_width(self) -> int:
+        """BOOM retires at core width."""
+        return self.decode_width
+
+    def with_predictor(self, kind: str) -> "BoomConfig":
+        """This config with a different direction predictor (ablations)."""
+        return replace(self, predictor=replace(self.predictor, kind=kind),
+                       name=f"{self.name}-{kind}")
+
+    def with_issue_queues(self, kind: str) -> "BoomConfig":
+        """This config with a different issue-queue design (ablations)."""
+        return replace(self, issue_queue_kind=kind,
+                       name=f"{self.name}-{kind}iq")
+
+    def with_lazy_fp_snapshots(self) -> "BoomConfig":
+        """This config with the Key Takeaway #3 rename optimization."""
+        return replace(self, fp_rename_lazy_snapshots=True,
+                       name=f"{self.name}-lazyfp")
+
+    def describe(self) -> dict[str, object]:
+        """Table I row for this configuration."""
+        return {
+            "Configuration": self.name,
+            "Fetch width": self.fetch_width,
+            "Decode width": self.decode_width,
+            "ROB entries": self.rob_entries,
+            "Int phys regs": self.int_phys_regs,
+            "FP phys regs": self.fp_phys_regs,
+            "Int IQ / Mem IQ / FP IQ": (f"{self.int_iq_entries}/"
+                                        f"{self.mem_iq_entries}/"
+                                        f"{self.fp_iq_entries}"),
+            "Int RF ports (R/W)": (f"{self.int_rf_read_ports}R/"
+                                   f"{self.int_rf_write_ports}W"),
+            "FP RF ports (R/W)": (f"{self.fp_rf_read_ports}R/"
+                                  f"{self.fp_rf_write_ports}W"),
+            "LDQ/STQ": f"{self.ldq_entries}/{self.stq_entries}",
+            "Memory units": self.mem_units,
+            "BTB entries": self.predictor.btb_entries,
+            "L1I": (f"{self.icache.size_bytes // 1024}KiB/"
+                    f"{self.icache.ways}w/{self.icache.mshrs}mshr"),
+            "L1D": (f"{self.dcache.size_bytes // 1024}KiB/"
+                    f"{self.dcache.ways}w/{self.dcache.mshrs}mshr"),
+        }
+
+
+# SmallBOOM is not part of the paper's study (Table I covers
+# Medium/Large/Mega) but is a standard SonicBOOM design point; it is
+# provided for design-space exploration beyond the paper.
+SMALL_BOOM = BoomConfig(
+    name="SmallBOOM",
+    fetch_width=4,
+    decode_width=1,
+    rob_entries=32,
+    int_phys_regs=52,
+    fp_phys_regs=48,
+    int_iq_entries=8,
+    mem_iq_entries=8,
+    fp_iq_entries=8,
+    int_rf_read_ports=3,
+    int_rf_write_ports=2,
+    fp_rf_read_ports=3,
+    fp_rf_write_ports=1,
+    ldq_entries=8,
+    stq_entries=8,
+    mem_units=1,
+    alu_units=1,
+    fp_units=1,
+    fetch_buffer_entries=8,
+    ftq_entries=16,
+    max_branches=8,
+    predictor=PredictorParams(btb_entries=128, tage_base_entries=1024,
+                              tage_table_entries=128),
+    icache=CacheParams(size_bytes=16 * 1024, ways=4, mshrs=2),
+    dcache=CacheParams(size_bytes=16 * 1024, ways=4, mshrs=2),
+)
+
+MEDIUM_BOOM = BoomConfig(
+    name="MediumBOOM",
+    fetch_width=4,
+    decode_width=2,
+    rob_entries=64,
+    int_phys_regs=80,
+    fp_phys_regs=64,
+    int_iq_entries=20,
+    mem_iq_entries=12,
+    fp_iq_entries=16,
+    int_rf_read_ports=6,
+    int_rf_write_ports=3,
+    fp_rf_read_ports=3,
+    fp_rf_write_ports=2,
+    ldq_entries=16,
+    stq_entries=16,
+    mem_units=1,
+    alu_units=2,
+    fp_units=1,
+    fetch_buffer_entries=16,
+    ftq_entries=32,
+    max_branches=12,
+    # The 2-wide frontend carries a half-size BTB (paper §IV-B) and a
+    # proportionally smaller TAGE.
+    predictor=PredictorParams(btb_entries=256, tage_base_entries=2048,
+                              tage_table_entries=256),
+    icache=CacheParams(size_bytes=16 * 1024, ways=4, mshrs=2),
+    dcache=CacheParams(size_bytes=16 * 1024, ways=4, mshrs=4),
+)
+
+LARGE_BOOM = BoomConfig(
+    name="LargeBOOM",
+    fetch_width=8,
+    decode_width=3,
+    rob_entries=96,
+    int_phys_regs=100,
+    fp_phys_regs=96,
+    int_iq_entries=32,
+    mem_iq_entries=24,
+    fp_iq_entries=24,
+    int_rf_read_ports=8,
+    int_rf_write_ports=4,
+    fp_rf_read_ports=4,
+    fp_rf_write_ports=2,
+    ldq_entries=24,
+    stq_entries=24,
+    mem_units=1,
+    alu_units=3,
+    fp_units=1,
+    fetch_buffer_entries=24,
+    ftq_entries=32,
+    max_branches=16,
+    predictor=PredictorParams(btb_entries=512),
+    icache=CacheParams(size_bytes=32 * 1024, ways=8, mshrs=2),
+    dcache=CacheParams(size_bytes=32 * 1024, ways=8, mshrs=4),
+)
+
+MEGA_BOOM = BoomConfig(
+    name="MegaBOOM",
+    fetch_width=8,
+    decode_width=4,
+    rob_entries=128,
+    int_phys_regs=128,
+    fp_phys_regs=128,
+    int_iq_entries=40,      # Fig. 8: 40 integer issue slots
+    mem_iq_entries=24,
+    fp_iq_entries=32,
+    int_rf_read_ports=12,
+    int_rf_write_ports=6,
+    fp_rf_read_ports=8,     # 2x LargeBOOM (Key Takeaway #2)
+    fp_rf_write_ports=4,
+    ldq_entries=32,
+    stq_entries=32,
+    mem_units=2,            # two memory execution units (Key Takeaway #8)
+    alu_units=4,
+    fp_units=2,
+    fetch_buffer_entries=32,
+    ftq_entries=40,
+    max_branches=20,
+    predictor=PredictorParams(btb_entries=512),
+    icache=CacheParams(size_bytes=32 * 1024, ways=8, mshrs=2),
+    dcache=CacheParams(size_bytes=32 * 1024, ways=8, mshrs=8),  # 2x MSHRs
+)
+
+ALL_CONFIGS: tuple[BoomConfig, ...] = (MEDIUM_BOOM, LARGE_BOOM, MEGA_BOOM)
+
+
+def config_by_name(name: str) -> BoomConfig:
+    """Look up one of the three standard configurations."""
+    for config in ALL_CONFIGS:
+        if config.name.lower() == name.lower():
+            return config
+    known = ", ".join(c.name for c in ALL_CONFIGS)
+    raise ConfigError(f"unknown configuration {name!r} (known: {known})")

@@ -1,0 +1,317 @@
+"""The SonicBOOM-like out-of-order core: the cycle-level pipeline loop.
+
+One :class:`BoomCore` instance wires together the fetch unit (with its
+branch predictor and L1I), the rename stage (two units, branch snapshots),
+the ROB, the three collapsing issue queues, the physical register files,
+the execution units, the LSU, and the L1D — and advances them one cycle at
+a time:
+
+    commit -> complete -> issue -> dispatch -> fetch -> sample
+
+The core is the *detailed simulation* stage of the paper's flow (Fig. 3,
+step 5): it executes SimPoint checkpoints (warm-up excluded from stats)
+and produces the per-component activity counters the power model turns
+into Figs. 5-8, plus the IPC of Fig. 10.
+
+Example::
+
+    core = BoomCore(MEGA_BOOM, program, state=checkpoint.restore())
+    core.run(checkpoint.warmup_instructions)       # warm-up
+    stats = core.begin_measurement()
+    core.run(interval_size)                        # measured window
+    print(stats.ipc)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+from repro.sim.state import ArchState
+from repro.uarch.bpu import BranchPredictionUnit
+from repro.uarch.cache import L1Cache
+from repro.uarch.config import BoomConfig
+from repro.uarch.execute import ExecutionUnits
+from repro.uarch.frontend import FetchUnit
+from repro.uarch.issue import make_issue_queue
+from repro.uarch.lsu import LoadStoreUnit
+from repro.uarch.rename import RenameStage
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.stats import CoreStats
+from repro.uarch.uop import COMPLETED, ISSUED, Uop
+
+_FORWARD_LATENCY = 4
+_SAFETY_FACTOR = 400  # max cycles per requested instruction before we bail
+
+
+class BoomCore:
+    """Cycle-level model of one BOOM core plus its L1 caches."""
+
+    def __init__(self, config: BoomConfig, program: Program,
+                 state: ArchState | None = None) -> None:
+        self.config = config
+        self.program = program
+        if state is None:
+            state = ArchState.for_program(program)
+        self.stats = CoreStats()
+        stats = self.stats
+        self.bpu = BranchPredictionUnit(config.predictor, stats.predictor)
+        self.icache = L1Cache(config.icache, stats.icache, hit_latency=1)
+        self.dcache = L1Cache(config.dcache, stats.dcache, hit_latency=3)
+        self.frontend = FetchUnit(config, program, state, self.bpu,
+                                  self.icache, stats.frontend)
+        self.rename = RenameStage(config, stats.int_rename, stats.fp_rename)
+        self.rob = ReorderBuffer(config.rob_entries, stats.rob)
+        kind = config.issue_queue_kind
+        self.iq_int = make_issue_queue(kind, "int", config.int_iq_entries,
+                                       stats.int_iq)
+        self.iq_mem = make_issue_queue(kind, "mem", config.mem_iq_entries,
+                                       stats.mem_iq)
+        self.iq_fp = make_issue_queue(kind, "fp", config.fp_iq_entries,
+                                      stats.fp_iq)
+        self.lsu = LoadStoreUnit(config, stats.lsu)
+        self.fus = ExecutionUnits(config, stats.execute)
+        self.cycle = 0
+        self.retired_total = 0
+        self.branches_in_flight = 0
+        self.fp_in_flight = 0
+        #: set to a list to record (uop, commit cycle) pairs (debugging /
+        #: pipeline visualization; see repro.uarch.pipeview)
+        self.retire_log: list[tuple[Uop, int]] | None = None
+        self._completions: dict[int, list[Uop]] = {}
+        self._queues = {"int": self.iq_int, "mem": self.iq_mem,
+                        "fp": self.iq_fp}
+
+    # ------------------------------------------------------------------
+    # measurement windows
+    # ------------------------------------------------------------------
+
+    def begin_measurement(self) -> CoreStats:
+        """Start a fresh stats window (keeps all warm state)."""
+        stats = CoreStats()
+        self.stats = stats
+        self.bpu.rebind_stats(stats.predictor)
+        self.icache.rebind_stats(stats.icache)
+        self.dcache.rebind_stats(stats.dcache)
+        self.frontend.rebind_stats(stats.frontend)
+        self.rename.rebind_stats(stats.int_rename, stats.fp_rename)
+        self.rob.rebind_stats(stats.rob)
+        self.iq_int.rebind_stats(stats.int_iq)
+        self.iq_mem.rebind_stats(stats.mem_iq)
+        self.iq_fp.rebind_stats(stats.fp_iq)
+        self.lsu.rebind_stats(stats.lsu)
+        self.fus.rebind_stats(stats.execute)
+        return stats
+
+    # ------------------------------------------------------------------
+    # the cycle loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int | None = None) -> int:
+        """Advance the pipeline until ``max_instructions`` retire.
+
+        Without a budget, runs until the program exits and the pipeline
+        drains.  Returns the number of instructions retired by this call.
+        """
+        start = self.retired_total
+        target = None if max_instructions is None \
+            else start + max_instructions
+        budget = max_instructions if max_instructions is not None \
+            else 1 << 40
+        deadline = self.cycle + _SAFETY_FACTOR * (budget + 64)
+        while True:
+            if target is not None and self.retired_total >= target:
+                break
+            if self.frontend.out_of_instructions and self.rob.is_empty:
+                break
+            self._step()
+            if self.cycle > deadline:
+                raise SimulationError(
+                    f"pipeline made no progress for {_SAFETY_FACTOR}x the "
+                    f"instruction budget (deadlock?) at cycle {self.cycle}")
+        return self.retired_total - start
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        self._commit(cycle)
+        self._complete(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self.frontend.cycle(cycle)
+        self._sample(cycle)
+        self.cycle = cycle + 1
+        self.stats.cycles += 1
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        rob = self.rob
+        width = self.config.commit_width
+        while width > 0 and rob.head_completed(cycle):
+            head = rob.head()
+            if head.is_store:
+                # Stores write the data cache at commit.
+                latency = self.dcache.access(head.mem_addr, cycle,
+                                             is_write=True)
+                if latency is None:
+                    break  # all MSHRs busy; retry next cycle
+            rob.pop()
+            self.rename.commit(head)
+            if head.is_load or head.is_store:
+                self.lsu.commit(head)
+            if head.is_control:
+                self.branches_in_flight -= 1
+            if head.dest_kind == "f" or head.queue == "fp":
+                self.fp_in_flight -= 1
+            if self.retire_log is not None:
+                self.retire_log.append((head, cycle))
+            self.stats.count_retired(head.opclass.name)
+            self.retired_total += 1
+            width -= 1
+
+    # ------------------------------------------------------------------
+    # completion / writeback
+    # ------------------------------------------------------------------
+
+    def _complete(self, cycle: int) -> None:
+        done = self._completions.pop(cycle, None)
+        if not done:
+            return
+        stats = self.stats
+        for uop in done:
+            uop.state = COMPLETED
+            if uop.dest_kind == "x":
+                stats.int_regfile.writes += 1
+            elif uop.dest_kind == "f":
+                stats.fp_regfile.writes += 1
+            if uop.dest_kind:
+                # Destination tags broadcast to all three issue queues.
+                self.iq_int.wakeup()
+                self.iq_mem.wakeup()
+                self.iq_fp.wakeup()
+            if uop.mispredicted:
+                self.rename.recover()
+                stats.rob.flushes += 1
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+
+    def _issue(self, cycle: int) -> None:
+        config = self.config
+        self.iq_int.select(cycle, config.alu_units, self._try_issue_int)
+        self.iq_mem.select(cycle, config.mem_units, self._try_issue_mem)
+        self.iq_fp.select(cycle, config.fp_units, self._try_issue_fp)
+
+    def _try_issue_int(self, uop: Uop, cycle: int) -> bool:
+        if not uop.ready(cycle):
+            return False
+        if not self.fus.can_accept(uop.opclass, cycle):
+            return False
+        latency = self.fus.dispatch(uop.opclass, cycle)
+        self._finish_issue(uop, cycle, latency)
+        return True
+
+    def _try_issue_fp(self, uop: Uop, cycle: int) -> bool:
+        return self._try_issue_int(uop, cycle)
+
+    def _try_issue_mem(self, uop: Uop, cycle: int) -> bool:
+        if not uop.ready(cycle):
+            return False
+        if uop.is_load:
+            if not self.lsu.load_may_issue(uop):
+                return False
+            self.fus.count_load_agu()
+            if self.lsu.forwards_from_store(uop):
+                latency = _FORWARD_LATENCY
+            else:
+                access = self.dcache.access(uop.mem_addr, cycle)
+                if access is None:
+                    return False  # MSHRs exhausted; retry
+                latency = access
+        else:  # store address+data ready: AGU pass
+            latency = self.fus.dispatch(uop.opclass, cycle)
+            uop.addr_ready = True
+        self._finish_issue(uop, cycle, latency)
+        return True
+
+    def _finish_issue(self, uop: Uop, cycle: int, latency: int) -> None:
+        uop.state = ISSUED
+        uop.issue_cycle = cycle
+        stats = self.stats
+        # Operand delivery: recently-completed producers arrive on the
+        # bypass network; everything else reads the register file.
+        bypassed_x = 0
+        bypassed_f = 0
+        for producer in uop.srcs:
+            if producer.complete_cycle >= cycle - 1:
+                if producer.dest_kind == "x":
+                    bypassed_x += 1
+                else:
+                    bypassed_f += 1
+        stats.int_regfile.bypasses += bypassed_x
+        stats.fp_regfile.bypasses += bypassed_f
+        stats.int_regfile.reads += max(0, uop.x_reads - bypassed_x)
+        stats.fp_regfile.reads += max(0, uop.f_reads - bypassed_f)
+        complete_cycle = cycle + latency
+        uop.complete_cycle = complete_cycle
+        self._completions.setdefault(complete_cycle, []).append(uop)
+
+    # ------------------------------------------------------------------
+    # dispatch (decode + rename)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        buffer = self.frontend.buffer
+        if not buffer:
+            return
+        stats = self.stats
+        width = self.config.decode_width
+        while width > 0 and buffer:
+            uop = buffer[0]
+            if not self.rob.has_space():
+                stats.rob.full_stall_cycles += 1
+                return
+            queue = self._queues[uop.queue]
+            if not queue.has_space():
+                queue.stats.full_stall_cycles += 1
+                return
+            if not self.rename.can_rename(uop):
+                unit = self.rename.unit_for(uop.dest_kind)
+                unit.stats.stall_cycles += 1
+                return
+            if uop.is_control and \
+                    self.branches_in_flight >= self.config.max_branches:
+                return
+            if (uop.is_load or uop.is_store) and \
+                    not self.lsu.can_dispatch(uop):
+                return
+            buffer.popleft()
+            stats.frontend.fetch_buffer_reads += 1
+            fp_snapshot = (not self.config.fp_rename_lazy_snapshots
+                           or self.fp_in_flight > 0)
+            self.rename.rename(uop, fp_snapshot=fp_snapshot)
+            uop.dispatch_cycle = cycle
+            self.rob.push(uop)
+            queue.insert(uop)
+            if uop.is_load or uop.is_store:
+                self.lsu.dispatch(uop)
+            if uop.is_control:
+                self.branches_in_flight += 1
+            if uop.dest_kind == "f" or uop.queue == "fp":
+                self.fp_in_flight += 1
+            width -= 1
+
+    # ------------------------------------------------------------------
+    # per-cycle occupancy sampling
+    # ------------------------------------------------------------------
+
+    def _sample(self, cycle: int) -> None:
+        self.rob.sample()
+        self.iq_int.sample()
+        self.iq_mem.sample()
+        self.iq_fp.sample()
+        self.lsu.sample()
+        self.stats.dcache.mshr_occupancy += self.dcache.mshr_occupancy(cycle)

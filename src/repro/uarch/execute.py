@@ -1,0 +1,84 @@
+"""Execution units: latencies, pipelining, and structural hazards.
+
+Latencies follow SonicBOOM's published pipeline: single-cycle ALU and
+branch resolution, a 3-cycle pipelined multiplier, an iterative
+(unpipelined) integer divider, a 4-cycle FMA pipe, and an iterative FP
+divide/sqrt unit.  Loads get their latency from the data cache model.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+from repro.uarch.config import BoomConfig
+from repro.uarch.stats import ExecuteStats
+
+LATENCY: dict[OpClass, int] = {
+    OpClass.ALU: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JAL: 1,
+    OpClass.JALR: 1,
+    OpClass.MUL: 3,
+    OpClass.DIV: 13,           # iterative, unpipelined
+    OpClass.STORE: 1,          # address generation
+    OpClass.FP_STORE: 1,
+    OpClass.FP_ALU: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 16,        # iterative, unpipelined
+    OpClass.FP_CVT: 2,
+    OpClass.SYSTEM: 1,
+}
+
+_UNPIPELINED = {OpClass.DIV: "div", OpClass.FP_DIV: "fp_div"}
+
+
+class ExecutionUnits:
+    """Structural-hazard tracking for the FU pool."""
+
+    def __init__(self, config: BoomConfig, stats: ExecuteStats) -> None:
+        self.config = config
+        self.stats = stats
+        self._div_busy_until = 0
+        self._fp_div_busy_until = 0
+
+    def rebind_stats(self, stats: ExecuteStats) -> None:
+        self.stats = stats
+
+    def can_accept(self, opclass: OpClass, cycle: int) -> bool:
+        """Structural check beyond issue-width (iterative units only)."""
+        unit = _UNPIPELINED.get(opclass)
+        if unit == "div":
+            return self._div_busy_until <= cycle
+        if unit == "fp_div":
+            return self._fp_div_busy_until <= cycle
+        return True
+
+    def dispatch(self, opclass: OpClass, cycle: int) -> int:
+        """Start executing; returns the op latency and counts activity."""
+        latency = LATENCY[opclass]
+        stats = self.stats
+        if opclass is OpClass.DIV:
+            self._div_busy_until = cycle + latency
+            stats.div_ops += 1
+            stats.div_busy_cycles += latency
+        elif opclass is OpClass.FP_DIV:
+            self._fp_div_busy_until = cycle + latency
+            stats.fp_div_ops += 1
+        elif opclass is OpClass.MUL:
+            stats.mul_ops += 1
+        elif opclass is OpClass.ALU or opclass is OpClass.SYSTEM:
+            stats.alu_ops += 1
+        elif opclass in (OpClass.BRANCH, OpClass.JAL, OpClass.JALR):
+            stats.branch_ops += 1
+            stats.alu_ops += 1      # branches resolve in an ALU pipe
+        elif opclass is OpClass.FP_ALU:
+            stats.fp_alu_ops += 1
+        elif opclass is OpClass.FP_MUL:
+            stats.fp_mul_ops += 1
+        elif opclass is OpClass.FP_CVT:
+            stats.fp_cvt_ops += 1
+        elif opclass in (OpClass.STORE, OpClass.FP_STORE):
+            stats.agu_ops += 1
+        return latency
+
+    def count_load_agu(self) -> None:
+        self.stats.agu_ops += 1

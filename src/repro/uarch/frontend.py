@@ -1,0 +1,173 @@
+"""The fetch stage: instruction cache, branch prediction, fetch buffer.
+
+The detailed core is oracle-driven: the frontend steps its own functional
+model instruction-by-instruction as it fetches, so branch outcomes and
+memory addresses are known at fetch.  The *timing* consequences are then
+modeled faithfully:
+
+* the I-cache is accessed once per active fetch cycle; misses stall fetch;
+* a fetch group ends at a taken control-flow instruction or a cache-line
+  boundary;
+* BTB misses on taken control flow cost a short front-end bubble
+  (redirect-at-decode);
+* a mispredicted branch stops instruction supply until it resolves in the
+  backend plus a redirect penalty — the trace-driven equivalent of
+  fetching the wrong path and squashing it.
+
+Fetched uops land in the fetch buffer, which decouples fetch from decode
+(the paper's explanation for the I-cache's uniform access pattern).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.program import Program, TEXT_BASE
+from repro.sim.semantics import SEMANTICS
+from repro.sim.state import ArchState, MASK64
+from repro.uarch.bpu import BranchPredictionUnit
+from repro.uarch.cache import L1Cache
+from repro.uarch.config import BoomConfig
+from repro.uarch.stats import FrontendStats
+from repro.uarch.uop import COMPLETED, Uop
+from repro.isa.instructions import OpClass
+
+#: cycles from mispredict resolution until new uops reach the buffer
+#: (front-end refill through fetch, decode and rename)
+REDIRECT_PENALTY = 5
+#: decode-stage redirect for taken control flow the BTB did not know
+BTB_BUBBLE = 2
+
+_LINE_SHIFT = 6
+
+
+class FetchUnit:
+    """Oracle-driven fetch with a real predictor and I-cache in the loop."""
+
+    def __init__(self, config: BoomConfig, program: Program,
+                 state: ArchState, bpu: BranchPredictionUnit,
+                 icache: L1Cache, stats: FrontendStats) -> None:
+        self.config = config
+        self.program = program
+        self.state = state
+        self.bpu = bpu
+        self.icache = icache
+        self.stats = stats
+        self._ops = [(SEMANTICS[i.mnemonic], i)
+                     for i in program.instructions]
+        self.buffer: deque[Uop] = deque()
+        self.stall_until = 0
+        self.blocked_by: Uop | None = None
+        self._seq = 0
+
+    def rebind_stats(self, stats: FrontendStats) -> None:
+        self.stats = stats
+
+    @property
+    def exited(self) -> bool:
+        return self.state.exited
+
+    @property
+    def out_of_instructions(self) -> bool:
+        return self.state.exited and not self.buffer
+
+    def cycle(self, cycle: int) -> None:
+        """Run one fetch cycle."""
+        stats = self.stats
+        stats.fetch_buffer_occupancy += len(self.buffer)
+        if self.state.exited:
+            return
+        if self.blocked_by is not None:
+            blocker = self.blocked_by
+            if blocker.state == COMPLETED and \
+                    cycle >= blocker.complete_cycle + REDIRECT_PENALTY:
+                self.blocked_by = None
+            else:
+                stats.fetch_stall_cycles += 1
+                return
+        if cycle < self.stall_until:
+            stats.fetch_stall_cycles += 1
+            return
+        space = self.config.fetch_buffer_entries - len(self.buffer)
+        if space <= 0:
+            return
+        # One I-cache access and one predictor lookup per active cycle.
+        latency = self.icache.access(self.state.pc, cycle)
+        stats.icache_accesses += 1
+        self.bpu.stats.lookups += 1
+        if latency is None:
+            self.stall_until = cycle + 1
+            stats.fetch_stall_cycles += 1
+            return
+        if latency > self.icache.hit_latency:
+            stats.icache_misses += 1
+            self.stall_until = cycle + latency
+            stats.fetch_stall_cycles += 1
+            return
+        self._fetch_group(cycle, min(self.config.fetch_width, space))
+
+    def _fetch_group(self, cycle: int, budget: int) -> None:
+        state = self.state
+        ops = self._ops
+        stats = self.stats
+        line = state.pc >> _LINE_SHIFT
+        while budget > 0 and not state.exited:
+            pc = state.pc
+            if pc >> _LINE_SHIFT != line:
+                break  # next line is a new fetch group (new I$ access)
+            index = (pc - TEXT_BASE) >> 2
+            fn, instr = ops[index]
+            uop = Uop(self._seq, instr)
+            self._seq += 1
+            if uop.is_load or uop.is_store:
+                uop.mem_addr = (state.x[instr.rs1] + instr.imm) & MASK64
+            next_pc = fn(state, instr)
+            taken = next_pc is not None
+            state.pc = next_pc if taken else pc + 4
+            self.buffer.append(uop)
+            stats.fetch_buffer_writes += 1
+            budget -= 1
+            if uop.is_control:
+                if self._predict(uop, pc, taken, state.pc, cycle):
+                    break
+
+    def _predict(self, uop: Uop, pc: int, taken: bool,
+                 actual_next: int, cycle: int) -> bool:
+        """Drive the predictor for one control uop.
+
+        Returns True when the fetch group must end this cycle (taken
+        control flow or a discovered mispredict).
+        """
+        bpu = self.bpu
+        opclass = uop.opclass
+        mispredicted = False
+        bubble = False
+        if opclass is OpClass.BRANCH:
+            uop.taken = taken
+            mispredicted = bpu.predict_conditional(pc, taken, actual_next)
+        elif opclass is OpClass.JAL:
+            uop.taken = True
+            bubble = bpu.predict_jump(pc, actual_next)
+            if uop.instr.rd == 1:  # call: push the return address
+                bpu.ras.push(pc + 4)
+        else:  # JALR
+            uop.taken = True
+            instr = uop.instr
+            is_return = instr.rd == 0 and instr.rs1 in (1, 5)
+            is_call = instr.rd == 1
+            mispredicted = bpu.predict_indirect(
+                pc, actual_next, is_return=is_return, is_call=is_call,
+                return_address=pc + 4)
+        if mispredicted:
+            uop.mispredicted = True
+            self.blocked_by = uop
+            return True
+        if taken:
+            if bubble:
+                # Taken control flow the BTB did not know: the target is
+                # only available after decode, costing a short bubble.
+                uop.btb_bubble = True
+                self.stall_until = cycle + 1 + BTB_BUBBLE
+            # Correctly-predicted taken control flow ends the fetch group.
+            return True
+        return False

@@ -1,0 +1,174 @@
+"""Collapsing issue queues.
+
+BOOM's three distributed issue units (integer, memory, floating point)
+each use a *collapsing* queue: entries shift toward the head as older
+entries issue, keeping the oldest-first priority encoder simple — at the
+cost of register writes for every shifted entry on every issue (Key
+Takeaway #5).  The model counts those shifts, per-slot writes, and
+per-slot per-cycle occupancy; the latter two generate Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.uarch.stats import IssueQueueStats
+from repro.uarch.uop import Uop
+
+
+class IssueQueue:
+    """One collapsing issue queue."""
+
+    def __init__(self, name: str, entries: int,
+                 stats: IssueQueueStats) -> None:
+        self.name = name
+        self.entries = entries
+        self.stats = stats
+        stats.ensure_slots(entries)
+        self._queue: list[Uop] = []
+
+    def rebind_stats(self, stats: IssueQueueStats) -> None:
+        stats.ensure_slots(self.entries)
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def has_space(self) -> bool:
+        return len(self._queue) < self.entries
+
+    def insert(self, uop: Uop) -> None:
+        """Dispatch writes the uop into the first free (tail) slot."""
+        stats = self.stats
+        stats.writes += 1
+        stats.slot_writes[len(self._queue)] += 1
+        self._queue.append(uop)
+
+    def select(self, cycle: int, max_issue: int,
+               can_issue: Callable[[Uop, int], bool]) -> list[Uop]:
+        """Oldest-first select of ready uops; collapses the queue.
+
+        ``can_issue(uop, cycle)`` combines operand readiness with the
+        caller's structural checks (FU availability, LSU ordering, MSHRs).
+        Selected entries are removed; survivors shift toward the head with
+        one counted register write per moved entry.
+        """
+        if not self._queue or max_issue <= 0:
+            return []
+        issued: list[Uop] = []
+        kept: list[Uop] = []
+        stats = self.stats
+        for index, uop in enumerate(self._queue):
+            if len(issued) < max_issue and can_issue(uop, cycle):
+                issued.append(uop)
+            else:
+                new_index = len(kept)
+                if issued and new_index != index:
+                    stats.shifts += 1
+                    stats.slot_writes[new_index] += 1
+                kept.append(uop)
+        if issued:
+            self._queue = kept
+            stats.issues += len(issued)
+        return issued
+
+    def wakeup(self) -> None:
+        """A completing destination tag is broadcast to this queue."""
+        self.stats.wakeup_broadcasts += 1
+
+    def sample(self) -> None:
+        """Per-cycle occupancy sampling (total and per slot)."""
+        stats = self.stats
+        occupancy = len(self._queue)
+        stats.occupancy += occupancy
+        slots = stats.slot_occupancy
+        for index in range(occupancy):
+            slots[index] += 1
+
+
+class RingIssueQueue:
+    """A non-collapsing, age-ordered issue queue (Key Takeaway #5).
+
+    Entries stay in their slots from dispatch to issue — no shift writes —
+    at the cost of an age matrix for the oldest-first select (Folegnani &
+    González's energy-effective issue logic).  Interface-compatible with
+    :class:`IssueQueue`, so the core takes either via
+    ``BoomConfig.issue_queue_kind``.
+    """
+
+    def __init__(self, name: str, entries: int,
+                 stats: IssueQueueStats) -> None:
+        self.name = name
+        self.entries = entries
+        self.stats = stats
+        stats.ensure_slots(entries)
+        self._slots: list[Uop | None] = [None] * entries
+        self._count = 0
+
+    def rebind_stats(self, stats: IssueQueueStats) -> None:
+        stats.ensure_slots(self.entries)
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def has_space(self) -> bool:
+        return self._count < self.entries
+
+    def insert(self, uop: Uop) -> None:
+        """Dispatch writes the uop into the first free slot (no shifts)."""
+        for index, occupant in enumerate(self._slots):
+            if occupant is None:
+                self._slots[index] = uop
+                self._count += 1
+                self.stats.writes += 1
+                self.stats.slot_writes[index] += 1
+                return
+        raise IndexError("insert into a full issue queue")
+
+    def select(self, cycle: int, max_issue: int,
+               can_issue: Callable[[Uop, int], bool]) -> list[Uop]:
+        """Oldest-first (by sequence number) select across all slots."""
+        if self._count == 0 or max_issue <= 0:
+            return []
+        occupied = [(uop.seq, index, uop)
+                    for index, uop in enumerate(self._slots)
+                    if uop is not None]
+        occupied.sort()
+        issued: list[Uop] = []
+        for _, index, uop in occupied:
+            if len(issued) >= max_issue:
+                break
+            if can_issue(uop, cycle):
+                issued.append(uop)
+                self._slots[index] = None
+                self._count -= 1
+        self.stats.issues += len(issued)
+        return issued
+
+    def wakeup(self) -> None:
+        self.stats.wakeup_broadcasts += 1
+
+    def sample(self) -> None:
+        stats = self.stats
+        stats.occupancy += self._count
+        slots = stats.slot_occupancy
+        for index, occupant in enumerate(self._slots):
+            if occupant is not None:
+                slots[index] += 1
+
+
+def make_issue_queue(kind: str, name: str, entries: int,
+                     stats: IssueQueueStats):
+    """Factory for the configured issue-queue implementation."""
+    if kind == "ring":
+        return RingIssueQueue(name, entries, stats)
+    return IssueQueue(name, entries, stats)

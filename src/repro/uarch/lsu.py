@@ -1,0 +1,94 @@
+"""The load/store unit: LDQ, STQ, ordering, and store-to-load forwarding.
+
+Loads may issue out of order but only once every older store in the STQ
+has a known address (a conservative but deadlock-free memory-dependence
+policy).  A load whose address matches an older, still-in-flight store
+forwards from the STQ instead of reading the data cache; every such check
+is a CAM search across the occupied STQ entries — one of the LSU's main
+power terms (§IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import BoomConfig
+from repro.uarch.stats import LsuStats
+from repro.uarch.uop import Uop
+
+
+class LoadStoreUnit:
+    """LDQ/STQ bookkeeping and memory-ordering checks."""
+
+    def __init__(self, config: BoomConfig, stats: LsuStats) -> None:
+        self.config = config
+        self.stats = stats
+        self._ldq: list[Uop] = []
+        self._stq: list[Uop] = []
+
+    def rebind_stats(self, stats: LsuStats) -> None:
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def can_dispatch(self, uop: Uop) -> bool:
+        if uop.is_load:
+            return len(self._ldq) < self.config.ldq_entries
+        if uop.is_store:
+            return len(self._stq) < self.config.stq_entries
+        return True
+
+    def dispatch(self, uop: Uop) -> None:
+        if uop.is_load:
+            self._ldq.append(uop)
+            self.stats.ldq_writes += 1
+        elif uop.is_store:
+            self._stq.append(uop)
+            self.stats.stq_writes += 1
+
+    # ------------------------------------------------------------------
+    # issue-side ordering checks
+    # ------------------------------------------------------------------
+
+    def load_may_issue(self, load: Uop) -> bool:
+        """True when every older store has computed its address."""
+        for store in self._stq:
+            if store.seq > load.seq:
+                break
+            if not store.addr_ready:
+                return False
+        return True
+
+    def forwards_from_store(self, load: Uop) -> bool:
+        """STQ CAM search: does an older store supply this load's line?
+
+        Forwarding matches on the 8-byte-aligned address, which covers the
+        aligned access patterns the workloads use.
+        """
+        target = load.mem_addr >> 3
+        hit = False
+        searches = 0
+        for store in self._stq:
+            if store.seq > load.seq:
+                break
+            searches += 1
+            if store.addr_ready and (store.mem_addr >> 3) == target:
+                hit = True
+        self.stats.cam_searches += searches
+        if hit:
+            self.stats.forwards += 1
+        return hit
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+
+    def commit(self, uop: Uop) -> None:
+        if uop.is_load:
+            self._ldq.remove(uop)
+        elif uop.is_store:
+            self._stq.remove(uop)
+
+    def sample(self) -> None:
+        self.stats.ldq_occupancy += len(self._ldq)
+        self.stats.stq_occupancy += len(self._stq)

@@ -1,0 +1,55 @@
+"""The reorder buffer.
+
+BOOM uses a merged register file, so the ROB holds bookkeeping only (no
+instruction data) — the reason its power share is modest (§IV-B).  The
+model is an ordered queue with capacity stalls, per-cycle occupancy
+sampling, and in-order commit of completed uops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.uarch.stats import RobStats
+from repro.uarch.uop import COMPLETED, Uop
+
+
+class ReorderBuffer:
+    """In-order retirement window."""
+
+    def __init__(self, entries: int, stats: RobStats) -> None:
+        self.entries = entries
+        self.stats = stats
+        self._queue: deque[Uop] = deque()
+
+    def rebind_stats(self, stats: RobStats) -> None:
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def has_space(self) -> bool:
+        return len(self._queue) < self.entries
+
+    def push(self, uop: Uop) -> None:
+        self._queue.append(uop)
+        self.stats.dispatch_writes += 1
+
+    def head(self) -> Uop | None:
+        return self._queue[0] if self._queue else None
+
+    def head_completed(self, cycle: int) -> bool:
+        head = self.head()
+        return (head is not None and head.state == COMPLETED
+                and head.complete_cycle <= cycle)
+
+    def pop(self) -> Uop:
+        self.stats.commit_reads += 1
+        return self._queue.popleft()
+
+    def sample(self) -> None:
+        self.stats.occupancy += len(self._queue)

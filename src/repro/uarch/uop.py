@@ -1,0 +1,77 @@
+"""Micro-op: one instruction in flight through the detailed core.
+
+Uops are created at fetch (with oracle outcome information from the
+functional model), renamed at dispatch (source producers resolved), and
+tracked until commit.  State is a tiny integer enum for speed.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, OpClass
+
+DISPATCHED = 0
+ISSUED = 1
+COMPLETED = 2
+
+_NEVER = 1 << 60
+
+
+class Uop:
+    """One in-flight micro-op."""
+
+    __slots__ = ("seq", "instr", "opclass", "queue", "srcs", "dest_kind",
+                 "state", "complete_cycle", "taken", "mispredicted",
+                 "btb_bubble", "is_load", "is_store", "mem_addr",
+                 "addr_ready", "dispatch_cycle", "issue_cycle",
+                 "x_reads", "f_reads")
+
+    def __init__(self, seq: int, instr: Instruction) -> None:
+        self.seq = seq
+        self.instr = instr
+        self.opclass = instr.opclass
+        self.queue = instr.opclass.issue_queue
+        self.srcs: tuple = ()
+        spec = instr.spec
+        x_reads = 0
+        f_reads = 0
+        for cls, reg in ((spec.src1, instr.rs1), (spec.src2, instr.rs2),
+                         (spec.src3, instr.rs3)):
+            if cls == "x":
+                if reg:
+                    x_reads += 1
+            elif cls == "f":
+                f_reads += 1
+        self.x_reads = x_reads
+        self.f_reads = f_reads
+        if instr.writes_x:
+            self.dest_kind = "x"
+        elif instr.writes_f:
+            self.dest_kind = "f"
+        else:
+            self.dest_kind = ""
+        self.state = DISPATCHED
+        self.complete_cycle = _NEVER
+        self.taken = False
+        self.mispredicted = False
+        self.btb_bubble = False
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.mem_addr = 0
+        self.addr_ready = not instr.is_store
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass.is_control
+
+    def ready(self, cycle: int) -> bool:
+        """All source operands available at ``cycle``."""
+        for producer in self.srcs:
+            if producer.state != COMPLETED or producer.complete_cycle > cycle:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"Uop(#{self.seq} {self.instr.mnemonic} "
+                f"pc=0x{self.instr.pc:x} state={self.state})")

@@ -1,0 +1,19 @@
+"""Workloads: the eleven Table II benchmarks as assembly generators."""
+
+from repro.workloads.suite import (
+    build_program,
+    get_workload,
+    register_workload,
+    REPRODUCTION_SCALE,
+    workload_names,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "build_program",
+    "get_workload",
+    "register_workload",
+    "REPRODUCTION_SCALE",
+    "workload_names",
+    "WorkloadSpec",
+]

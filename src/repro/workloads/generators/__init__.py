@@ -1,0 +1,17 @@
+"""Workload generator modules; importing this package registers all specs.
+
+Import order matches Table II of the paper.
+"""
+
+from repro.workloads.generators import (  # noqa: F401
+    basicmath,
+    stringsearch,
+    fft,
+    bitcount,
+    qsort,
+    dijkstra,
+    patricia,
+    matmult,
+    sha,
+    tarfind,
+)

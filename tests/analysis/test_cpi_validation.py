@@ -1,0 +1,95 @@
+"""Tests for the CPI stack and the SimPoint accuracy validator."""
+
+import pytest
+
+from repro.analysis.cpi_stack import (
+    cpi_stack,
+    dominant_bottleneck,
+    format_cpi_stack,
+    STACK_COMPONENTS,
+)
+from repro.analysis.validation import (
+    full_detailed_ipc,
+    validate_simpoint_accuracy,
+)
+from repro.flow.experiment import FlowSettings
+from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM
+from repro.uarch.core import BoomCore
+from repro.workloads.suite import build_program
+
+SETTINGS = FlowSettings(scale=0.15)
+
+
+def stats_for(workload, config=MEGA_BOOM, skip=4000, window=4000,
+              scale=1.0):
+    program = build_program(workload, scale=scale)
+    core = BoomCore(config, program)
+    core.run(skip)
+    stats = core.begin_measurement()
+    core.run(window)
+    return stats
+
+
+class TestCpiStack:
+    def test_components_sum_to_cpi(self):
+        stats = stats_for("dijkstra")
+        stack = cpi_stack(stats, MEGA_BOOM)
+        total = sum(stack[name] for name in STACK_COMPONENTS)
+        assert total == pytest.approx(stack["cpi"], rel=1e-9)
+
+    def test_base_term_is_width_bound(self):
+        stats = stats_for("sha", skip=50_000)
+        stack = cpi_stack(stats, MEGA_BOOM)
+        assert stack["base"] == pytest.approx(0.25)
+        # sha in steady state is almost pure base CPI.
+        assert stack["cpi"] == pytest.approx(0.25, rel=0.15)
+        assert dominant_bottleneck(stack) == "none"
+
+    def test_tarfind_is_mispredict_bound(self):
+        stats = stats_for("tarfind", skip=100_000)
+        stack = cpi_stack(stats, MEGA_BOOM)
+        assert dominant_bottleneck(stack) == "mispredict"
+        assert stack["mispredict"] > stack["dcache_miss"]
+
+    def test_basicmath_is_divider_bound(self):
+        stats = stats_for("basicmath", skip=20_000)
+        stack = cpi_stack(stats, MEGA_BOOM)
+        assert stack["divider"] > 0.2
+
+    def test_empty_window_rejected(self):
+        from repro.uarch.stats import CoreStats
+
+        with pytest.raises(ValueError):
+            cpi_stack(CoreStats(), MEGA_BOOM)
+
+    def test_format(self):
+        stats = stats_for("qsort", skip=2000, window=3000)
+        text = format_cpi_stack(cpi_stack(stats, MEGA_BOOM), "qsort")
+        assert "qsort" in text
+        for name in STACK_COMPONENTS:
+            assert name in text
+
+
+class TestValidation:
+    def test_accuracy_report_fields(self):
+        report = validate_simpoint_accuracy("qsort", MEDIUM_BOOM, SETTINGS)
+        assert report.workload == "qsort"
+        assert report.estimated_ipc > 0
+        assert report.true_ipc > 0
+        assert report.coverage >= 0.9
+        assert 0 <= report.relative_error < 1.0
+        assert report.speedup > 1.0
+        assert "qsort" in report.format()
+
+    def test_ground_truth_matches_direct_run(self):
+        truth = full_detailed_ipc("qsort", MEDIUM_BOOM, SETTINGS)
+        program = build_program("qsort", scale=SETTINGS.scale,
+                                seed=SETTINGS.seed)
+        core = BoomCore(MEDIUM_BOOM, program)
+        core.run()
+        assert truth == pytest.approx(core.stats.ipc)
+
+    def test_estimate_in_range_of_truth(self):
+        report = validate_simpoint_accuracy("bitcount", MEDIUM_BOOM,
+                                            FlowSettings(scale=0.3))
+        assert report.relative_error < 0.30

@@ -1,0 +1,37 @@
+"""Seed-stability tests: conclusions must not hinge on the seed."""
+
+import pytest
+
+from repro.analysis.stability import seed_stability
+from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM
+
+SEEDS = (11, 17, 23)
+
+
+@pytest.mark.parametrize("workload", ["sha", "dijkstra"])
+def test_ipc_stable_across_seeds(workload):
+    report = seed_stability(workload, MEGA_BOOM, seeds=SEEDS, scale=0.3)
+    print(report.format())
+    assert report.ipc_cv < 0.15
+    assert report.tile_cv < 0.15
+
+
+def test_config_ordering_survives_seed_change():
+    """Mega faster than Medium for every seed (the Fig. 10 ordering)."""
+    for seed in SEEDS:
+        medium = seed_stability("sha", MEDIUM_BOOM, seeds=(seed,),
+                                scale=0.3)
+        mega = seed_stability("sha", MEGA_BOOM, seeds=(seed,), scale=0.3)
+        assert mega.ipc_mean > medium.ipc_mean
+
+
+def test_simpoint_counts_bounded_across_seeds():
+    report = seed_stability("qsort", MEDIUM_BOOM, seeds=SEEDS, scale=0.3)
+    assert all(1 <= count <= 8 for count in report.simpoint_counts)
+
+
+def test_report_format():
+    report = seed_stability("qsort", MEDIUM_BOOM, seeds=(17,), scale=0.2)
+    text = report.format()
+    assert "qsort" in text
+    assert "cv" in text

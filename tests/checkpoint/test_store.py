@@ -1,0 +1,85 @@
+"""Tests for on-disk checkpoint storage."""
+
+import pytest
+
+from repro.checkpoint.creator import create_checkpoints
+from repro.checkpoint.loader import verify_checkpoint
+from repro.checkpoint.store import (
+    describe_store,
+    load_checkpoints,
+    save_checkpoints,
+)
+from repro.errors import CheckpointError
+from repro.flow.experiment import FlowSettings, profile_and_select
+from repro.workloads.suite import build_program
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def qsort_checkpoints():
+    settings = FlowSettings(scale=SCALE)
+    program = build_program("qsort", scale=SCALE, seed=settings.seed)
+    _, selection = profile_and_select("qsort", settings)
+    return program, create_checkpoints(program, selection, warmup=200)
+
+
+def test_save_load_roundtrip(tmp_path, qsort_checkpoints):
+    program, checkpoints = qsort_checkpoints
+    written = save_checkpoints(tmp_path, checkpoints)
+    assert len(written) == len(checkpoints)
+    assert (tmp_path / "manifest.json").exists()
+    loaded = load_checkpoints(tmp_path)
+    assert len(loaded) == len(checkpoints)
+    for original, restored in zip(checkpoints, loaded):
+        assert restored.instruction_index == original.instruction_index
+        assert restored.pages == original.pages
+        assert restored.weight == original.weight
+
+
+def test_loaded_checkpoints_resume_correctly(tmp_path, qsort_checkpoints):
+    program, checkpoints = qsort_checkpoints
+    save_checkpoints(tmp_path, checkpoints)
+    for checkpoint in load_checkpoints(tmp_path, workload=program.name):
+        assert verify_checkpoint(program, checkpoint,
+                                 probe_instructions=200)
+
+
+def test_workload_filter(tmp_path, qsort_checkpoints):
+    _, checkpoints = qsort_checkpoints
+    save_checkpoints(tmp_path, checkpoints)
+    with pytest.raises(CheckpointError):
+        load_checkpoints(tmp_path, workload="sha")
+
+
+def test_multiple_workloads_share_directory(tmp_path, qsort_checkpoints):
+    _, checkpoints = qsort_checkpoints
+    save_checkpoints(tmp_path, checkpoints)
+    settings = FlowSettings(scale=0.05)
+    sha_program = build_program("sha", scale=0.05, seed=settings.seed)
+    _, sha_selection = profile_and_select("sha", settings)
+    sha_checkpoints = create_checkpoints(sha_program, sha_selection,
+                                         warmup=100)
+    save_checkpoints(tmp_path, sha_checkpoints)
+    everything = load_checkpoints(tmp_path)
+    workloads = {c.workload for c in everything}
+    assert len(workloads) == 2
+
+
+def test_missing_manifest_raises(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoints(tmp_path)
+
+
+def test_empty_save_rejected(tmp_path):
+    with pytest.raises(CheckpointError):
+        save_checkpoints(tmp_path, [])
+
+
+def test_describe_store(tmp_path, qsort_checkpoints):
+    _, checkpoints = qsort_checkpoints
+    save_checkpoints(tmp_path, checkpoints)
+    text = describe_store(tmp_path)
+    assert "checkpoints" in text
+    assert ".ckpt" in text
+    assert describe_store(tmp_path / "nowhere").endswith("(no manifest)")

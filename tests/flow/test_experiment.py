@@ -1,0 +1,88 @@
+"""Integration tests for the end-to-end experiment flow (small scale)."""
+
+import pytest
+
+from repro.flow.experiment import (
+    FlowSettings,
+    profile_and_select,
+    run_experiment,
+)
+from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM
+
+SCALE = 0.12
+SETTINGS = FlowSettings(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def qsort_result():
+    return run_experiment("qsort", MEDIUM_BOOM, settings=SETTINGS)
+
+
+def test_result_metadata(qsort_result):
+    assert qsort_result.workload == "qsort"
+    assert qsort_result.config_name == "MediumBOOM"
+    assert qsort_result.scale == SCALE
+    assert qsort_result.num_intervals > 1
+    assert qsort_result.chosen_k >= 1
+    assert qsort_result.coverage >= 0.9
+
+
+def test_runs_match_top_points(qsort_result):
+    assert len(qsort_result.runs) >= 1
+    weights = [run.weight for run in qsort_result.runs]
+    assert sum(weights) >= 0.9 - 1e-9
+    for run in qsort_result.runs:
+        assert run.cycles > 0
+        assert run.measured_instructions > 0
+        assert run.ipc == pytest.approx(
+            run.measured_instructions / run.cycles, rel=0.01)
+
+
+def test_weighted_ipc_between_extremes(qsort_result):
+    ipcs = [run.ipc for run in qsort_result.runs]
+    assert min(ipcs) - 1e-9 <= qsort_result.ipc <= max(ipcs) + 1e-9
+
+
+def test_power_positive(qsort_result):
+    assert qsort_result.tile_mw > 0
+    assert 0 < qsort_result.analyzed_share < 1
+    assert qsort_result.perf_per_watt > 0
+
+
+def test_detailed_instruction_accounting(qsort_result):
+    detailed = qsort_result.detailed_instructions
+    assert detailed == sum(run.warmup_instructions
+                           + run.measured_instructions
+                           for run in qsort_result.runs)
+    # SimPoint methodology simulates far less than the whole program.
+    assert detailed < qsort_result.total_instructions
+
+
+def test_profile_and_select_consistent():
+    profile, selection = profile_and_select("qsort", SETTINGS)
+    assert selection.num_intervals == profile.num_intervals
+    assert selection.total_instructions == profile.total_instructions
+    for point in selection.points:
+        assert point.length == profile.interval_lengths[point.interval_index]
+        assert point.start_instruction == \
+            profile.interval_starts()[point.interval_index]
+
+
+def test_experiment_deterministic():
+    a = run_experiment("qsort", MEDIUM_BOOM, settings=SETTINGS)
+    b = run_experiment("qsort", MEDIUM_BOOM, settings=SETTINGS)
+    assert a.ipc == b.ipc
+    assert a.tile_mw == b.tile_mw
+    assert [r.interval_index for r in a.runs] == \
+        [r.interval_index for r in b.runs]
+
+
+def test_different_configs_differ():
+    medium = run_experiment("qsort", MEDIUM_BOOM, settings=SETTINGS)
+    mega = run_experiment("qsort", MEGA_BOOM, settings=SETTINGS)
+    assert mega.tile_mw > medium.tile_mw
+
+
+def test_scaled_warmup_floor():
+    assert FlowSettings(scale=0.01).scaled_warmup() == 200
+    assert FlowSettings(scale=1.0).scaled_warmup() == 2000

@@ -1,0 +1,100 @@
+"""Tests for result records: aggregation and serialization."""
+
+import pytest
+
+from repro.flow.results import ExperimentResult, SimPointRun
+from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
+from repro.power.report import ComponentPower, PowerReport
+
+
+def make_report(scale=1.0):
+    report = PowerReport(config_name="MegaBOOM", workload="w", cycles=100)
+    for index, name in enumerate((*ANALYZED_COMPONENTS, REST_OF_TILE)):
+        report.components[name] = ComponentPower(
+            0.1 * scale, 0.2 * scale, 0.3 * scale)
+    report.int_issue_slot_mw = [0.5 * scale, 0.25 * scale]
+    return report
+
+
+def make_result():
+    result = ExperimentResult(
+        workload="w", config_name="MegaBOOM", scale=1.0,
+        total_instructions=100_000, interval_size=1000,
+        num_intervals=100, chosen_k=3, coverage=0.93)
+    result.runs = [
+        SimPointRun(interval_index=5, weight=0.6, warmup_instructions=2000,
+                    measured_instructions=1000, cycles=500, ipc=2.0,
+                    report=make_report(1.0)),
+        SimPointRun(interval_index=50, weight=0.3, warmup_instructions=2000,
+                    measured_instructions=1000, cycles=1000, ipc=1.0,
+                    report=make_report(2.0)),
+    ]
+    return result
+
+
+def test_weighted_ipc():
+    result = make_result()
+    expected = (0.6 * 2.0 + 0.3 * 1.0) / 0.9
+    assert result.ipc == pytest.approx(expected)
+
+
+def test_weighted_component_power():
+    result = make_result()
+    # component total = 0.6 each in run 1, 1.2 in run 2
+    expected = (0.6 * 0.6 + 0.3 * 1.2) / 0.9
+    assert result.component_mw("rob") == pytest.approx(expected)
+
+
+def test_tile_and_share():
+    result = make_result()
+    per_component = result.component_mw("rob")
+    assert result.tile_mw == pytest.approx(14 * per_component)
+    assert result.analyzed_share == pytest.approx(13 / 14)
+
+
+def test_perf_per_watt():
+    result = make_result()
+    assert result.perf_per_watt == pytest.approx(
+        result.ipc / (result.tile_mw * 1e-3))
+
+
+def test_slot_aggregation():
+    result = make_result()
+    slots = result.int_issue_slot_mw()
+    assert slots[0] == pytest.approx((0.6 * 0.5 + 0.3 * 1.0) / 0.9)
+    assert len(slots) == 2
+
+
+def test_detailed_instructions():
+    assert make_result().detailed_instructions == 2 * 3000
+
+
+def test_empty_result_is_safe():
+    empty = ExperimentResult(workload="w", config_name="c", scale=1.0,
+                             total_instructions=0, interval_size=100,
+                             num_intervals=0, chosen_k=0, coverage=0.0)
+    assert empty.ipc == 0.0
+    assert empty.tile_mw == 0.0
+    assert empty.perf_per_watt == 0.0
+    assert empty.int_issue_slot_mw() == []
+
+
+def test_serialization_roundtrip():
+    result = make_result()
+    loaded = ExperimentResult.from_dict(result.to_dict())
+    assert loaded.workload == result.workload
+    assert loaded.ipc == pytest.approx(result.ipc)
+    assert loaded.tile_mw == pytest.approx(result.tile_mw)
+    assert loaded.component_mw("dcache") == \
+        pytest.approx(result.component_mw("dcache"))
+    assert loaded.int_issue_slot_mw() == \
+        pytest.approx(result.int_issue_slot_mw())
+    assert loaded.chosen_k == 3
+
+
+def test_serialization_is_json_compatible():
+    import json
+
+    blob = json.dumps(make_result().to_dict())
+    loaded = ExperimentResult.from_dict(json.loads(blob))
+    assert loaded.num_intervals == 100

@@ -1,0 +1,51 @@
+"""Tests for SimPoint simulation-time accounting."""
+
+import pytest
+
+from repro.flow.results import ExperimentResult, SimPointRun
+from repro.flow.speedup import speedup_report, SpeedupRow
+from repro.power.report import PowerReport
+
+
+def make_result(workload, total, detailed_chunks):
+    result = ExperimentResult(workload=workload, config_name="MegaBOOM",
+                              scale=1.0, total_instructions=total,
+                              interval_size=1000, num_intervals=total // 1000,
+                              chosen_k=len(detailed_chunks), coverage=0.95)
+    for index, (warmup, measured) in enumerate(detailed_chunks):
+        result.runs.append(SimPointRun(
+            interval_index=index, weight=1.0 / len(detailed_chunks),
+            warmup_instructions=warmup, measured_instructions=measured,
+            cycles=measured, ipc=1.0,
+            report=PowerReport(config_name="MegaBOOM", workload=workload,
+                               cycles=measured)))
+    return result
+
+
+def test_row_speedup():
+    row = SpeedupRow(workload="w", full_instructions=90_000,
+                     detailed_instructions=3_000)
+    assert row.speedup == pytest.approx(30.0)
+
+
+def test_report_totals():
+    results = [make_result("a", 100_000, [(2000, 1000)]),
+               make_result("b", 200_000, [(2000, 1000), (2000, 1000)])]
+    report = speedup_report(results)
+    assert report.total_full == 300_000
+    assert report.total_detailed == 9_000
+    assert report.overall_speedup == pytest.approx(300_000 / 9_000)
+
+
+def test_zero_detailed_is_infinite():
+    row = SpeedupRow(workload="w", full_instructions=10,
+                     detailed_instructions=0)
+    assert row.speedup == float("inf")
+
+
+def test_format_table():
+    report = speedup_report([make_result("alpha", 50_000, [(1000, 1000)])])
+    text = report.format_table()
+    assert "alpha" in text
+    assert "TOTAL" in text
+    assert "25.0x" in text

@@ -1,0 +1,92 @@
+"""Tests for the sweep runner and its cache."""
+
+import json
+
+import pytest
+
+from repro.flow.experiment import FlowSettings
+from repro.flow.sweep import MODEL_VERSION, SweepRunner
+from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM
+
+SETTINGS = FlowSettings(scale=0.1)
+
+
+def test_memory_cache_returns_same_object(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    a = runner.run("qsort", MEDIUM_BOOM)
+    b = runner.run("qsort", MEDIUM_BOOM)
+    assert a is b
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    original = runner.run("qsort", MEDIUM_BOOM)
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1
+    assert f"v{MODEL_VERSION}" in files[0].name
+
+    fresh = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    loaded = fresh.run("qsort", MEDIUM_BOOM)
+    assert loaded.ipc == pytest.approx(original.ipc)
+    assert loaded.tile_mw == pytest.approx(original.tile_mw)
+
+
+def test_cache_key_distinguishes_configs(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run("qsort", MEDIUM_BOOM)
+    runner.run("qsort", MEGA_BOOM)
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_cache_key_distinguishes_predictors(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run("qsort", MEDIUM_BOOM)
+    runner.run("qsort", MEDIUM_BOOM.with_predictor("gshare"))
+    names = [p.name for p in tmp_path.glob("*.json")]
+    assert len(names) == 2
+    assert any("gshare" in name for name in names)
+
+
+def test_no_cache_dir(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=None)
+    result = runner.run("qsort", MEDIUM_BOOM)
+    assert result.ipc > 0
+
+
+def test_run_all_subset(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    results = runner.run_all(configs=(MEDIUM_BOOM,),
+                             workloads=["qsort", "sha"])
+    assert set(results) == {("qsort", "MediumBOOM"), ("sha", "MediumBOOM")}
+
+
+def test_parallel_run_all_matches_serial(tmp_path):
+    serial = SweepRunner(SETTINGS, cache_dir=None)
+    expected = serial.run_all(configs=(MEDIUM_BOOM,),
+                              workloads=["qsort", "sha"])
+    parallel = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    actual = parallel.run_all(configs=(MEDIUM_BOOM,),
+                              workloads=["qsort", "sha"], jobs=2)
+    assert set(actual) == set(expected)
+    for key in expected:
+        assert actual[key].ipc == pytest.approx(expected[key].ipc)
+        assert actual[key].tile_mw == pytest.approx(expected[key].tile_mw)
+    # the parallel path populated the disk cache too
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_parallel_uses_cache(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run("qsort", MEDIUM_BOOM)
+    results = runner.run_all(configs=(MEDIUM_BOOM,),
+                             workloads=["qsort"], jobs=2)
+    assert ("qsort", "MediumBOOM") in results
+
+
+def test_cached_json_is_valid(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run("qsort", MEDIUM_BOOM)
+    path = next(tmp_path.glob("*.json"))
+    data = json.loads(path.read_text())
+    assert data["workload"] == "qsort"
+    assert data["runs"]

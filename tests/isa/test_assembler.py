@@ -1,0 +1,245 @@
+"""Unit tests for the two-pass assembler."""
+
+import struct
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def mnemonics(program):
+    return [instr.mnemonic for instr in program.instructions]
+
+
+def test_basic_program_layout():
+    program = assemble("""
+        .text
+    _start:
+        addi a0, zero, 1
+        add  a1, a0, a0
+    """)
+    assert len(program) == 2
+    assert program.entry == TEXT_BASE
+    assert program.instructions[0].pc == TEXT_BASE
+    assert program.instructions[1].pc == TEXT_BASE + 4
+
+
+def test_labels_resolve_to_addresses():
+    program = assemble("""
+        .data
+    table: .dword 1, 2, 3
+    after: .word 9
+        .text
+    _start:
+        nop
+    here:
+        j here
+    """)
+    assert program.symbols["table"] == DATA_BASE
+    assert program.symbols["after"] == DATA_BASE + 24
+    assert program.symbols["here"] == TEXT_BASE + 4
+    jal = program.instructions[1]
+    assert jal.mnemonic == "jal"
+    assert jal.imm == 0  # self-loop
+
+
+def test_branch_offsets_are_pc_relative():
+    program = assemble("""
+    _start:
+        nop
+        nop
+    target:
+        beq a0, a1, target
+    """)
+    assert program.instructions[2].imm == -0  # branch to itself? no:
+    # target is the branch's own address, so offset is 0
+    assert program.instructions[2].imm == 0
+    program = assemble("""
+    _start:
+        beq a0, a1, skip
+        nop
+    skip:
+        nop
+    """)
+    assert program.instructions[0].imm == 8
+
+
+def test_pseudo_expansions():
+    program = assemble("""
+    _start:
+        mv   a0, a1
+        not  a2, a3
+        neg  a4, a5
+        seqz a6, a7
+        snez t0, t1
+        j    _start
+        ret
+    """)
+    names = mnemonics(program)
+    assert names == ["addi", "xori", "sub", "sltiu", "sltu", "jal", "jalr"]
+    not_instr = program.instructions[1]
+    assert not_instr.imm == -1
+    neg = program.instructions[2]
+    assert neg.rs1 == 0 and neg.rs2 == 15
+
+
+def test_branch_pseudos():
+    program = assemble("""
+    _start:
+        beqz a0, _start
+        bnez a1, _start
+        blez a2, _start
+        bgez a3, _start
+        bgt  a4, a5, _start
+        bleu a6, a7, _start
+    """)
+    names = mnemonics(program)
+    assert names == ["beq", "bne", "bge", "bge", "blt", "bgeu"]
+    blez = program.instructions[2]
+    assert blez.rs1 == 0 and blez.rs2 == 12  # bge zero, a2
+    bgt = program.instructions[4]
+    assert bgt.rs1 == 15 and bgt.rs2 == 14  # blt a5, a4
+
+
+def test_li_small_constant():
+    program = assemble("_start: li a0, -7")
+    assert mnemonics(program) == ["addi"]
+    assert program.instructions[0].imm == -7
+
+
+def test_li_32bit_constant():
+    program = assemble("_start: li a0, 0x12345678")
+    assert mnemonics(program) == ["lui", "addiw"]
+
+
+def test_li_64bit_constant_executes_correctly():
+    from repro.sim.executor import Executor
+
+    for value in (0xDEADBEEFCAFEBABE, -1, 1 << 62, -(1 << 40) + 12345,
+                  0x7FFFFFFFFFFFFFFF):
+        program = assemble(f"""
+        _start:
+            li a0, {value}
+            li a7, 93
+            ecall
+        """)
+        executor = Executor(program)
+        executor.run_to_completion()
+        assert executor.state.x[10] == value & ((1 << 64) - 1)
+
+
+def test_la_loads_symbol_address():
+    from repro.sim.executor import Executor
+
+    program = assemble("""
+        .data
+        .space 40
+    blob: .dword 77
+        .text
+    _start:
+        la a0, blob
+        ld a1, 0(a0)
+        li a7, 93
+        ecall
+    """)
+    executor = Executor(program)
+    executor.run_to_completion()
+    assert executor.state.x[10] == DATA_BASE + 40
+    assert executor.state.x[11] == 77
+
+
+def test_memory_operand_forms():
+    program = assemble("""
+    _start:
+        lw a0, 8(sp)
+        lw a1, (sp)
+        sw a0, -4(sp)
+    """)
+    assert program.instructions[0].imm == 8
+    assert program.instructions[1].imm == 0
+    assert program.instructions[2].imm == -4
+
+
+def test_data_directives():
+    program = assemble("""
+        .data
+    a: .byte 1, 2
+    b: .half 0x3344
+       .align 3
+    c: .dword 0x1122334455667788
+    s: .asciz "hi"
+    d: .double 1.5
+    """)
+    data = program.data
+    assert data[0:2] == bytes([1, 2])
+    assert data[2:4] == (0x3344).to_bytes(2, "little")
+    assert program.symbols["c"] == DATA_BASE + 8  # aligned to 8
+    offset = program.symbols["c"] - DATA_BASE
+    assert data[offset:offset + 8] == (0x1122334455667788).to_bytes(8, "little")
+    s_off = program.symbols["s"] - DATA_BASE
+    assert data[s_off:s_off + 3] == b"hi\x00"
+    d_off = program.symbols["d"] - DATA_BASE
+    assert struct.unpack("<d", data[d_off:d_off + 8])[0] == 1.5
+
+
+def test_comments_and_separators():
+    program = assemble("""
+    _start:
+        nop; nop  # two in one line
+        nop       // c++-style comment
+    """)
+    assert len(program) == 3
+
+
+def test_fp_pseudo_instructions():
+    program = assemble("""
+    _start:
+        fmv.d  fa0, fa1
+        fneg.d fa2, fa3
+        fabs.d fa4, fa5
+    """)
+    assert mnemonics(program) == ["fsgnj.d", "fsgnjn.d", "fsgnjx.d"]
+    fmv = program.instructions[0]
+    assert fmv.rs1 == fmv.rs2 == 11
+
+
+def test_call_uses_ra():
+    program = assemble("""
+    _start:
+        call f
+    f:  ret
+    """)
+    assert program.instructions[0].rd == 1
+
+
+def test_errors():
+    with pytest.raises(AssemblerError):
+        assemble("_start: frobnicate a0, a1")
+    with pytest.raises(AssemblerError):
+        assemble("_start: beq a0, a1, nowhere")
+    with pytest.raises(AssemblerError):
+        assemble("_start: addi a0, a1")  # missing operand
+    with pytest.raises(AssemblerError):
+        assemble("x: nop\nx: nop")  # duplicate label
+    with pytest.raises(AssemblerError):
+        assemble(".data\nv: .word 1\n.text\n_start: lw a0, v")  # not imm(reg)
+    with pytest.raises(AssemblerError):
+        assemble("_start: addi a0, fa1, 0")  # FP reg in int slot
+    with pytest.raises(AssemblerError):
+        assemble(".word 5")  # data directive in .text
+
+
+def test_error_reports_line_number():
+    try:
+        assemble("nop\nnop\nbogus a0")
+    except AssemblerError as error:
+        assert error.line_number == 3
+    else:
+        pytest.fail("expected AssemblerError")
+
+
+def test_entry_defaults_to_text_base_without_start():
+    program = assemble("main: nop")
+    assert program.entry == TEXT_BASE

@@ -1,0 +1,61 @@
+"""Fuzz tests: the assembler fails cleanly on arbitrary garbage.
+
+Whatever the input, the assembler must either produce a valid Program or
+raise AssemblerError with a line number — never crash with an unrelated
+exception or hang.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+_TOKENS = st.sampled_from([
+    "add", "bogus", "a0", "x99", "t0,", "123", "-5", "0x", "(", ")",
+    "(sp)", "label:", ".word", ".data", ".text", ".asciz", '"str"', ",",
+    ";", "#c", "li", "la", "beq", "nowhere", ".space", ".align", "::",
+])
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.lists(_TOKENS, min_size=0, max_size=6), max_size=12))
+def test_garbage_never_crashes(token_lines):
+    source = "\n".join(" ".join(tokens) for tokens in token_lines)
+    try:
+        program = assemble(source)
+    except AssemblerError:
+        return
+    assert isinstance(program, Program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=200))
+def test_arbitrary_text_never_crashes(source):
+    try:
+        program = assemble(source)
+    except AssemblerError:
+        return
+    assert isinstance(program, Program)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+def test_li_extreme_values(value):
+    """li always assembles (wrapping into 64 bits) or errors cleanly."""
+    try:
+        program = assemble(f"_start: li a0, {value}")
+    except AssemblerError:
+        return
+    from repro.sim.executor import Executor
+
+    # Wrapped materialization matches Python's 64-bit wrap.
+    program = assemble(f"""
+    _start:
+        li a0, {value}
+        li a7, 93
+        ecall
+    """)
+    executor = Executor(program)
+    executor.run_to_completion()
+    assert executor.state.x[10] == value & ((1 << 64) - 1)

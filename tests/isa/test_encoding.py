@@ -1,0 +1,124 @@
+"""Unit and property tests for binary encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IllegalInstruction, IsaError
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Fmt, Instruction, SPECS
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr), pc=instr.pc)
+
+
+def assert_same(a: Instruction, b: Instruction) -> None:
+    assert (a.mnemonic, a.rd, a.rs1, a.rs2, a.rs3, a.imm) == \
+        (b.mnemonic, b.rd, b.rs1, b.rs2, b.rs3, b.imm)
+
+
+def test_known_encodings_match_spec_examples():
+    # addi x0, x0, 0 is the canonical NOP: 0x00000013
+    assert encode(Instruction("addi")) == 0x00000013
+    # ecall
+    assert encode(Instruction("ecall")) == 0x00000073
+    # add x3, x1, x2 -> 0x002081B3
+    assert encode(Instruction("add", rd=3, rs1=1, rs2=2)) == 0x002081B3
+    # lui a0, 0x12345 -> 0x12345537
+    assert encode(Instruction("lui", rd=10, imm=0x12345)) == 0x12345537
+
+
+def test_branch_offset_encoding():
+    instr = Instruction("beq", rs1=1, rs2=2, imm=-8, pc=0x100)
+    assert_same(instr, roundtrip(instr))
+    instr = Instruction("bne", rs1=3, rs2=4, imm=4094)
+    assert_same(instr, roundtrip(instr))
+
+
+def test_jal_offset_encoding():
+    for offset in (-1048576, -4, 0, 4, 2048, 1048574):
+        instr = Instruction("jal", rd=1, imm=offset)
+        assert_same(instr, roundtrip(instr))
+
+
+def test_odd_branch_offset_rejected():
+    with pytest.raises(IsaError):
+        encode(Instruction("beq", rs1=1, rs2=2, imm=3))
+    with pytest.raises(IsaError):
+        encode(Instruction("jal", rd=1, imm=5))
+
+
+def test_out_of_range_immediates_rejected():
+    with pytest.raises(IsaError):
+        encode(Instruction("addi", rd=1, rs1=1, imm=2048))
+    with pytest.raises(IsaError):
+        encode(Instruction("sd", rs1=1, rs2=2, imm=-2049))
+    with pytest.raises(IsaError):
+        encode(Instruction("slli", rd=1, rs1=1, imm=64))
+    with pytest.raises(IsaError):
+        encode(Instruction("slliw", rd=1, rs1=1, imm=32))
+    with pytest.raises(IsaError):
+        encode(Instruction("lui", rd=1, imm=1 << 20))
+
+
+def test_illegal_word_raises():
+    with pytest.raises(IllegalInstruction):
+        decode(0xFFFFFFFF)
+    with pytest.raises(IllegalInstruction):
+        decode(0x00000000)
+
+
+def test_rv64_shift_with_high_shamt():
+    for mnemonic in ("slli", "srli", "srai"):
+        instr = Instruction(mnemonic, rd=7, rs1=8, imm=45)
+        assert_same(instr, roundtrip(instr))
+    for mnemonic in ("slliw", "srliw", "sraiw"):
+        instr = Instruction(mnemonic, rd=7, rs1=8, imm=17)
+        assert_same(instr, roundtrip(instr))
+
+
+def _arbitrary_instruction(draw) -> Instruction:
+    mnemonic = draw(st.sampled_from(sorted(SPECS)))
+    spec = SPECS[mnemonic]
+    reg = st.integers(min_value=0, max_value=31)
+    rd = draw(reg)
+    rs1 = draw(reg)
+    rs2 = draw(reg)
+    rs3 = draw(reg) if spec.fmt is Fmt.R4 else 0
+    if spec.fmt in (Fmt.I, Fmt.I_MEM, Fmt.I_JALR, Fmt.S):
+        imm = draw(st.integers(min_value=-2048, max_value=2047))
+    elif spec.fmt is Fmt.I_SHIFT:
+        limit = 63 if spec.opcode == 0x13 else 31
+        imm = draw(st.integers(min_value=0, max_value=limit))
+    elif spec.fmt is Fmt.B:
+        imm = draw(st.integers(min_value=-2048, max_value=2047)) * 2
+    elif spec.fmt is Fmt.U:
+        imm = draw(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    elif spec.fmt is Fmt.J:
+        imm = draw(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)) * 2
+    else:
+        imm = 0
+    if spec.fmt is Fmt.NONE:
+        rd = rs1 = rs2 = 0
+    if spec.fmt is Fmt.R2:
+        rs2 = 0
+    if spec.fmt in (Fmt.U, Fmt.J):
+        rs1 = rs2 = 0
+    if spec.fmt in (Fmt.S, Fmt.B):
+        rd = 0
+    if spec.fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.I_MEM, Fmt.I_JALR):
+        rs2 = 0
+    return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3, imm=imm)
+
+
+@given(st.data())
+def test_roundtrip_property(data):
+    instr = _arbitrary_instruction(data.draw)
+    assert_same(instr, roundtrip(instr))
+
+
+@given(st.data())
+def test_encodings_are_32_bit(data):
+    instr = _arbitrary_instruction(data.draw)
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)

@@ -1,0 +1,121 @@
+"""Tests for the structural area models."""
+
+import pytest
+
+from repro.power.area import (
+    ANALYZED_COMPONENTS,
+    bypass_factor,
+    bypass_gates,
+    cache_access_bits,
+    cache_area,
+    component_areas,
+    ComponentArea,
+    issue_queue_area,
+    predictor_area,
+    regfile_area,
+    rename_area,
+    REST_OF_TILE,
+)
+from repro.uarch.config import (
+    LARGE_BOOM,
+    MEDIUM_BOOM,
+    MEGA_BOOM,
+    PredictorParams,
+)
+
+
+def test_thirteen_components_plus_rest():
+    areas = component_areas(MEGA_BOOM)
+    assert set(areas) == set(ANALYZED_COMPONENTS) | {REST_OF_TILE}
+    assert len(ANALYZED_COMPONENTS) == 13
+
+
+def test_all_areas_nonnegative():
+    for config in (MEDIUM_BOOM, LARGE_BOOM, MEGA_BOOM):
+        for name, area in component_areas(config).items():
+            assert area.flops >= 0, name
+            assert area.gates >= 0, name
+            assert area.sram_bits >= 0, name
+            assert area.cam_bits >= 0, name
+
+
+def test_bypass_factor_normalized_to_medium():
+    assert bypass_factor(6, 3) == pytest.approx(1.0)
+    # Key Takeaway #1: the Mega/Medium integer RF structural ratio is
+    # super-linear — around the paper's observed 18x power gap.
+    ratio = bypass_factor(12, 6) / bypass_factor(6, 3)
+    assert 14.0 < ratio < 22.0
+
+
+def test_bypass_fp_ratio_matches_paper_jump():
+    """FP RF: Mega (8R/4W) vs Large (4R/2W) is a large structural jump."""
+    ratio = bypass_factor(8, 4) / bypass_factor(4, 2)
+    assert ratio > 12.0
+
+
+def test_bypass_gates_monotonic_in_ports():
+    assert bypass_gates(8, 4) > bypass_gates(6, 3)
+    assert bypass_gates(12, 6) > bypass_gates(8, 4)
+
+
+def test_predictor_area_tage_larger_than_gshare():
+    tage = predictor_area(PredictorParams(kind="tage"))
+    gshare = predictor_area(PredictorParams(kind="gshare"))
+    assert tage.gates > gshare.gates  # per-table hash logic
+
+
+def test_predictor_area_scales_with_btb():
+    small = predictor_area(PredictorParams(btb_entries=256))
+    large = predictor_area(PredictorParams(btb_entries=512))
+    assert large.sram_bits > small.sram_bits
+
+
+def test_cache_area_scales_with_size():
+    small = cache_area(MEDIUM_BOOM.dcache)
+    large = cache_area(MEGA_BOOM.dcache)
+    assert large.sram_bits > 1.8 * small.sram_bits
+    assert large.flops > small.flops  # MSHR registers
+
+
+def test_cache_access_bits_scale_with_ways():
+    assert cache_access_bits(MEGA_BOOM.dcache) == \
+        2 * cache_access_bits(MEDIUM_BOOM.dcache)
+
+
+def test_rename_area_includes_snapshots():
+    with_snapshots = rename_area(128, 4, max_branches=20)
+    without = rename_area(128, 4, max_branches=0)
+    assert with_snapshots.flops - without.flops == 20 * 128
+
+
+def test_issue_queue_area_scales_with_entries():
+    small = issue_queue_area(20, 2)
+    large = issue_queue_area(40, 4)
+    assert large.flops == 2 * small.flops
+    assert large.cam_bits == 2 * small.cam_bits
+
+
+def test_regfile_area_storage():
+    area = regfile_area(128, 12, 6)
+    assert area.flops == 128 * 64
+
+
+def test_component_area_addition():
+    total = ComponentArea(flops=1, gates=2) + ComponentArea(flops=3,
+                                                            cam_bits=4)
+    assert total.flops == 4
+    assert total.gates == 2
+    assert total.cam_bits == 4
+
+
+def test_rob_area_small_relative_to_regfile():
+    """Merged regfile: the ROB holds bookkeeping only (§IV-B)."""
+    areas = component_areas(MEGA_BOOM)
+    assert areas["rob"].flops < areas["int_regfile"].flops
+
+
+def test_mega_dcache_bigger_than_large_via_mshrs():
+    large = component_areas(LARGE_BOOM)["dcache"]
+    mega = component_areas(MEGA_BOOM)["dcache"]
+    assert mega.flops > large.flops  # 2x MSHRs
+    assert mega.sram_bits == large.sram_bits  # identical geometry

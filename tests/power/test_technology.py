@@ -1,0 +1,87 @@
+"""Tests for the technology card and its DVFS extension."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.technology import ASAP7, TechnologyCard
+
+
+def test_default_card_matches_paper_operating_point():
+    assert ASAP7.voltage == 0.70
+    assert ASAP7.clock_hz == 500e6
+    assert "asap7" in ASAP7.name
+
+
+def test_max_clock_scales_with_overdrive():
+    assert ASAP7.max_clock_hz(ASAP7.voltage) == pytest.approx(500e6)
+    assert ASAP7.max_clock_hz(0.5) < 500e6
+    assert ASAP7.max_clock_hz(0.9) > 500e6
+    assert ASAP7.max_clock_hz(0.2) == 0.0
+
+
+def test_scaling_exponents():
+    scaled = ASAP7.at_operating_point(0.35, 50e6)
+    ratio = 0.35 / 0.70
+    assert scaled.gate_switch_fj == \
+        pytest.approx(ASAP7.gate_switch_fj * ratio ** 2)
+    assert scaled.sram_read_fj_per_bit == \
+        pytest.approx(ASAP7.sram_read_fj_per_bit * ratio ** 2)
+    assert scaled.leak_flop_nw == \
+        pytest.approx(ASAP7.leak_flop_nw * ratio ** 3)
+    assert scaled.clock_hz == 50e6
+    assert scaled.cycle_seconds == pytest.approx(20e-9)
+
+
+def test_infeasible_frequency_rejected():
+    with pytest.raises(PowerModelError):
+        ASAP7.at_operating_point(0.5, 500e6)  # too fast for 0.5 V
+
+
+def test_subthreshold_voltage_rejected():
+    with pytest.raises(PowerModelError):
+        ASAP7.at_operating_point(0.25, 1e6)
+
+
+def test_nominal_point_is_identity():
+    same = ASAP7.at_operating_point(0.70, 500e6)
+    assert same.gate_switch_fj == pytest.approx(ASAP7.gate_switch_fj)
+    assert same.leak_flop_nw == pytest.approx(ASAP7.leak_flop_nw)
+
+
+def test_dvfs_lowers_power_on_real_model():
+    """Low-voltage MegaBOOM dissipates far less at the same activity."""
+    from repro.isa.assembler import assemble
+    from repro.power.model import PowerModel
+    from repro.uarch.config import MEGA_BOOM
+    from repro.uarch.core import BoomCore
+
+    source = """
+    _start:
+        li t0, 2000
+    loop:
+        addi t0, t0, -1
+        xor  t1, t1, t0
+        bnez t0, loop
+        li a0, 0
+        li a7, 93
+        ecall
+    """
+    core = BoomCore(MEGA_BOOM, assemble(source))
+    core.run(1500)
+    stats = core.begin_measurement()
+    core.run(3000)
+    nominal = PowerModel(MEGA_BOOM).report(stats)
+    slow = ASAP7.at_operating_point(0.5, 200e6)
+    scaled = PowerModel(MEGA_BOOM, tech=slow).report(stats)
+    # P_dyn ~ f V^2: 0.4x frequency x 0.51x energy => ~0.2x power.
+    assert scaled.tile_mw < 0.35 * nominal.tile_mw
+    # But energy per instruction (power x time / work) is only V^2 lower.
+    nominal_epi = nominal.tile_mw / 500e6
+    scaled_epi = scaled.tile_mw / 200e6
+    assert scaled_epi < nominal_epi
+    assert scaled_epi > 0.3 * nominal_epi
+
+
+def test_card_is_immutable():
+    with pytest.raises(Exception):
+        ASAP7.voltage = 0.6  # frozen dataclass

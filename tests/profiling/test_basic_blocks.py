@@ -1,0 +1,78 @@
+"""Unit tests for static basic-block discovery."""
+
+from repro.isa.assembler import assemble
+from repro.isa.program import TEXT_BASE
+from repro.profiling.basic_blocks import block_map, discover_blocks
+
+
+def test_single_block_program():
+    program = assemble("""
+    _start:
+        addi a0, a0, 1
+        addi a1, a1, 2
+        ecall
+    """)
+    blocks = discover_blocks(program)
+    assert len(blocks) == 1
+    assert blocks[0].start_pc == TEXT_BASE
+    assert blocks[0].length == 3
+
+
+def test_branch_splits_blocks():
+    program = assemble("""
+    _start:
+        addi a0, a0, 1
+        beq  a0, a1, target
+        addi a2, a2, 1
+    target:
+        addi a3, a3, 1
+    """)
+    blocks = discover_blocks(program)
+    starts = sorted(b.start_pc for b in blocks)
+    # leaders: _start, after-branch, target
+    assert starts == [TEXT_BASE, TEXT_BASE + 8, TEXT_BASE + 12]
+
+
+def test_backward_branch_target_is_leader():
+    program = assemble("""
+    _start:
+        addi a0, a0, 1
+    loop:
+        addi a1, a1, -1
+        bnez a1, loop
+    """)
+    blocks = discover_blocks(program)
+    mapping = block_map(blocks)
+    assert TEXT_BASE + 4 in mapping  # loop label
+    loop_block = mapping[TEXT_BASE + 4]
+    assert loop_block.length == 2
+
+
+def test_block_lengths_cover_program():
+    program = assemble("""
+    _start:
+        addi a0, a0, 1
+        jal  ra, f
+        addi a1, a1, 1
+        ecall
+    f:
+        addi a2, a2, 1
+        ret
+    """)
+    blocks = discover_blocks(program)
+    total = sum(block.length for block in blocks)
+    assert total == len(program)
+
+
+def test_contains():
+    program = assemble("_start: addi a0, a0, 1\n  addi a1, a1, 1")
+    block = discover_blocks(program)[0]
+    assert block.contains(TEXT_BASE)
+    assert block.contains(TEXT_BASE + 4)
+    assert not block.contains(TEXT_BASE + 8)
+
+
+def test_empty_program():
+    from repro.isa.program import Program
+
+    assert discover_blocks(Program(instructions=[])) == []

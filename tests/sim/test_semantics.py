@@ -1,0 +1,251 @@
+"""Semantic unit tests: arithmetic edge cases of the ISA subset."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import Instruction, SPECS
+from repro.sim.semantics import missing_semantics, SEMANTICS
+from repro.sim.state import ArchState, MASK64
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def run_op(mnemonic, rs1=0, rs2=0, imm=0, rs3=0.0, fp1=0.0, fp2=0.0,
+           fp3=0.0):
+    """Execute one instruction on a fresh state and return rd's value."""
+    state = ArchState()
+    state.x[1] = rs1 & MASK64
+    state.x[2] = rs2 & MASK64
+    state.f[1] = fp1
+    state.f[2] = fp2
+    state.f[3] = fp3
+    instr = Instruction(mnemonic, rd=3, rs1=1, rs2=2, rs3=3, imm=imm)
+    if instr.spec.dst == "f":
+        instr = Instruction(mnemonic, rd=4, rs1=1, rs2=2, rs3=3, imm=imm)
+        SEMANTICS[mnemonic](state, instr)
+        return state.f[4]
+    SEMANTICS[mnemonic](state, instr)
+    return state.x[3]
+
+
+def test_every_mnemonic_has_semantics():
+    assert missing_semantics() == []
+    assert set(SEMANTICS) == set(SPECS)
+
+
+def test_add_wraps_64_bits():
+    assert run_op("add", MASK64, 1) == 0
+    assert run_op("add", 1 << 63, 1 << 63) == 0
+
+
+def test_sub_wraps():
+    assert run_op("sub", 0, 1) == MASK64
+
+
+def test_addw_sign_extends():
+    assert run_op("addw", 0x7FFFFFFF, 1) == 0xFFFFFFFF80000000
+    assert run_op("addw", 0xFFFFFFFF, 1) == 0
+
+
+def test_shifts():
+    assert run_op("sll", 1, 63) == 1 << 63
+    assert run_op("sll", 1, 64) == 1  # shamt masked to 6 bits
+    assert run_op("srl", 1 << 63, 63) == 1
+    assert run_op("sra", 1 << 63, 63) == MASK64
+    assert run_op("sllw", 1, 31) == 0xFFFFFFFF80000000
+    assert run_op("srlw", 0xFFFFFFFF00000000 | 0x80000000, 31) == 1
+    assert run_op("sraw", 0x80000000, 31) == MASK64
+
+
+def test_compare_ops():
+    assert run_op("slt", MASK64, 0) == 1  # -1 < 0 signed
+    assert run_op("sltu", MASK64, 0) == 0
+    assert run_op("slti", 5, imm=6) == 1
+    assert run_op("sltiu", 5, imm=-1) == 1  # imm sign-extends then unsigned
+
+
+def test_mul_family():
+    assert run_op("mul", 7, 6) == 42
+    assert run_op("mulh", MASK64, MASK64) == 0  # (-1)*(-1)=1, high=0
+    assert run_op("mulhu", MASK64, MASK64) == MASK64 - 1
+    assert run_op("mulw", 0x100000000 | 3, 5) == 15
+
+
+def test_div_family_edge_cases():
+    minus_one = MASK64
+    int_min = 1 << 63
+    assert run_op("div", 7, 2) == 3
+    assert run_op("div", -7 & MASK64, 2) == -3 & MASK64  # truncate to zero
+    assert run_op("div", 7, 0) == minus_one  # divide by zero
+    assert run_op("div", int_min, minus_one) == int_min  # overflow wraps
+    assert run_op("rem", -7 & MASK64, 2) == -1 & MASK64
+    assert run_op("rem", 7, 0) == 7
+    assert run_op("divu", 7, 0) == MASK64
+    assert run_op("remu", 7, 0) == 7
+    assert run_op("divw", -8 & MASK64, 2) == -4 & MASK64
+    assert run_op("divuw", 8, 0) == MASK64
+    assert run_op("remuw", 9, 0) == 9
+
+
+def test_immediates():
+    assert run_op("addi", 1, imm=-1) == 0
+    assert run_op("andi", 0xFF, imm=0x0F) == 0x0F
+    assert run_op("xori", 0, imm=-1) == MASK64  # pseudo "not"
+    assert run_op("srai", 1 << 63, imm=60) == 0xFFFFFFFFFFFFFFF8
+    assert run_op("sraiw", 0x80000000, imm=4) == 0xFFFFFFFFF8000000
+
+
+def test_lui_sign_extension():
+    state = ArchState()
+    SEMANTICS["lui"](state, Instruction("lui", rd=3, imm=0x80000))
+    assert state.x[3] == 0xFFFFFFFF80000000
+
+
+def test_auipc_uses_instruction_pc():
+    state = ArchState()
+    instr = Instruction("auipc", rd=3, imm=1, pc=0x1000)
+    SEMANTICS["auipc"](state, instr)
+    assert state.x[3] == 0x2000
+
+
+def test_writes_to_x0_discarded():
+    state = ArchState()
+    state.x[1] = 5
+    SEMANTICS["add"](state, Instruction("add", rd=0, rs1=1, rs2=1))
+    assert state.x[0] == 0
+
+
+def test_branches_return_target_only_when_taken():
+    state = ArchState()
+    state.x[1] = 4
+    state.x[2] = 4
+    beq = Instruction("beq", rs1=1, rs2=2, imm=16, pc=0x100)
+    assert SEMANTICS["beq"](state, beq) == 0x110
+    state.x[2] = 5
+    assert SEMANTICS["beq"](state, beq) is None
+    assert SEMANTICS["bne"](state, beq_like("bne")) is not None
+
+
+def beq_like(mnemonic):
+    return Instruction(mnemonic, rs1=1, rs2=2, imm=16, pc=0x100)
+
+
+def test_signed_vs_unsigned_branches():
+    state = ArchState()
+    state.x[1] = MASK64  # -1 signed, huge unsigned
+    state.x[2] = 0
+    blt = Instruction("blt", rs1=1, rs2=2, imm=8, pc=0)
+    bltu = Instruction("bltu", rs1=1, rs2=2, imm=8, pc=0)
+    assert SEMANTICS["blt"](state, blt) == 8
+    assert SEMANTICS["bltu"](state, bltu) is None
+
+
+def test_jal_links_and_jumps():
+    state = ArchState()
+    instr = Instruction("jal", rd=1, imm=0x20, pc=0x1000)
+    assert SEMANTICS["jal"](state, instr) == 0x1020
+    assert state.x[1] == 0x1004
+
+
+def test_jalr_clears_low_bit():
+    state = ArchState()
+    state.x[5] = 0x2001
+    instr = Instruction("jalr", rd=1, rs1=5, imm=0, pc=0x1000)
+    assert SEMANTICS["jalr"](state, instr) == 0x2000
+
+
+def test_jalr_rd_equals_rs1():
+    """The link write must not corrupt the target computation."""
+    state = ArchState()
+    state.x[5] = 0x4000
+    instr = Instruction("jalr", rd=5, rs1=5, imm=8, pc=0x1000)
+    assert SEMANTICS["jalr"](state, instr) == 0x4008
+    assert state.x[5] == 0x1004
+
+
+def test_fp_basic_arithmetic():
+    assert run_op("fadd.d", fp1=1.5, fp2=2.25) == 3.75
+    assert run_op("fsub.d", fp1=1.0, fp2=0.5) == 0.5
+    assert run_op("fmul.d", fp1=3.0, fp2=4.0) == 12.0
+    assert run_op("fdiv.d", fp1=1.0, fp2=4.0) == 0.25
+    assert run_op("fsqrt.d", fp1=9.0) == 3.0
+
+
+def test_fp_division_special_cases():
+    assert run_op("fdiv.d", fp1=1.0, fp2=0.0) == math.inf
+    assert run_op("fdiv.d", fp1=-1.0, fp2=0.0) == -math.inf
+    assert math.isnan(run_op("fdiv.d", fp1=0.0, fp2=0.0))
+    assert math.isnan(run_op("fsqrt.d", fp1=-1.0))
+
+
+def test_fp_sign_injection():
+    assert run_op("fsgnj.d", fp1=-3.0, fp2=1.0) == 3.0
+    assert run_op("fsgnjn.d", fp1=3.0, fp2=1.0) == -3.0
+    assert run_op("fsgnjx.d", fp1=-3.0, fp2=-1.0) == 3.0
+
+
+def test_fp_min_max_with_nan():
+    assert run_op("fmin.d", fp1=math.nan, fp2=2.0) == 2.0
+    assert run_op("fmax.d", fp1=2.0, fp2=math.nan) == 2.0
+    assert run_op("fmin.d", fp1=1.0, fp2=2.0) == 1.0
+
+
+def test_fp_compares_write_int_register():
+    assert run_op("feq.d", fp1=2.0, fp2=2.0) == 1
+    assert run_op("flt.d", fp1=1.0, fp2=2.0) == 1
+    assert run_op("fle.d", fp1=3.0, fp2=2.0) == 0
+    assert run_op("feq.d", fp1=math.nan, fp2=math.nan) == 0
+
+
+def test_fp_conversions():
+    assert run_op("fcvt.d.l", rs1=-5 & MASK64) == -5.0
+    assert run_op("fcvt.d.w", rs1=0xFFFFFFFF) == -1.0
+    assert run_op("fcvt.l.d", fp1=-3.7) == -3 & MASK64  # truncate to zero
+    assert run_op("fcvt.w.d", fp1=2.9) == 2
+    # saturation
+    assert run_op("fcvt.w.d", fp1=1e20) == (1 << 31) - 1
+    assert run_op("fcvt.l.d", fp1=math.nan) == (1 << 63) - 1
+
+
+def test_fp_bit_moves():
+    bits = int.from_bytes(struct.pack("<d", -2.5), "little")
+    assert run_op("fmv.d.x", rs1=bits) == -2.5
+    assert run_op("fmv.x.d", fp1=-2.5) == bits
+
+
+def test_fma_family():
+    assert run_op("fmadd.d", fp1=2.0, fp2=3.0, fp3=1.0) == 7.0
+    assert run_op("fmsub.d", fp1=2.0, fp2=3.0, fp3=1.0) == 5.0
+    assert run_op("fnmadd.d", fp1=2.0, fp2=3.0, fp3=1.0) == -7.0
+    assert run_op("fnmsub.d", fp1=2.0, fp2=3.0, fp3=1.0) == -5.0
+
+
+@given(U64, U64)
+def test_add_sub_inverse_property(a, b):
+    total = run_op("add", a, b)
+    state = ArchState()
+    state.x[1] = total
+    state.x[2] = b
+    SEMANTICS["sub"](state, Instruction("sub", rd=3, rs1=1, rs2=2))
+    assert state.x[3] == a
+
+
+@given(U64, st.integers(min_value=1, max_value=MASK64))
+def test_divu_remu_identity(dividend, divisor):
+    quotient = run_op("divu", dividend, divisor)
+    remainder = run_op("remu", dividend, divisor)
+    assert (quotient * divisor + remainder) & MASK64 == dividend
+    assert remainder < divisor
+
+
+@given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+       st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_div_rem_identity(a, b):
+    if b == 0:
+        return
+    quotient = run_op("div", a & MASK64, b & MASK64)
+    remainder = run_op("rem", a & MASK64, b & MASK64)
+    assert (quotient * b + remainder) & MASK64 == a & MASK64

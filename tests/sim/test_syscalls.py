@@ -1,0 +1,75 @@
+"""Unit tests for the bare-metal syscall layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.sim.executor import Executor
+
+
+def test_exit_sets_code_and_flag():
+    executor = Executor(assemble("""
+    _start:
+        li a0, 7
+        li a7, 93
+        ecall
+    """))
+    executor.run_to_completion()
+    assert executor.state.exited
+    assert executor.state.exit_code == 7
+
+
+def test_write_appends_to_output():
+    executor = Executor(assemble("""
+        .data
+    msg: .asciz "hello"
+        .text
+    _start:
+        li a0, 1
+        la a1, msg
+        li a2, 5
+        li a7, 64
+        ecall
+        li a0, 0
+        li a7, 93
+        ecall
+    """))
+    executor.run_to_completion()
+    assert executor.state.output == b"hello"
+
+
+def test_print_int_renders_signed_decimal():
+    executor = Executor(assemble("""
+    _start:
+        li a0, -42
+        li a7, 1
+        ecall
+        li a0, 0
+        li a7, 93
+        ecall
+    """))
+    executor.run_to_completion()
+    assert executor.state.output == b"-42\n"
+
+
+def test_unknown_syscall_raises():
+    executor = Executor(assemble("""
+    _start:
+        li a7, 999
+        ecall
+    """))
+    with pytest.raises(SimulationError):
+        executor.run()
+
+
+def test_oversized_write_refused():
+    executor = Executor(assemble("""
+    _start:
+        li a0, 1
+        li a1, 0
+        li a2, 0x200000
+        li a7, 64
+        ecall
+    """))
+    with pytest.raises(SimulationError):
+        executor.run()

@@ -1,0 +1,62 @@
+"""Unit tests for retire-stream tracing."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.sim.tracing import diff_traces, RetireTrace
+
+
+def make_trace(mnemonics, capacity=16):
+    trace = RetireTrace(capacity=capacity)
+    for index, mnemonic in enumerate(mnemonics):
+        trace.record(Instruction(mnemonic, pc=0x1000 + 4 * index))
+    return trace
+
+
+def test_records_in_order():
+    trace = make_trace(["addi", "add", "beq"])
+    entries = trace.entries()
+    assert [e.mnemonic for e in entries] == ["addi", "add", "beq"]
+    assert [e.sequence for e in entries] == [0, 1, 2]
+    assert trace.last().mnemonic == "beq"
+
+
+def test_capacity_bounds_window():
+    trace = make_trace(["addi"] * 10, capacity=4)
+    assert len(trace.entries()) == 4
+    assert trace.total_recorded == 10
+    assert trace.entries()[0].sequence == 6
+
+
+def test_empty_trace():
+    trace = RetireTrace()
+    assert trace.entries() == []
+    assert trace.last() is None
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        RetireTrace(capacity=0)
+
+
+def test_diff_traces_finds_first_divergence():
+    a = make_trace(["addi", "add", "beq"]).entries()
+    b = make_trace(["addi", "sub", "beq"]).entries()
+    assert diff_traces(a, b) == 1
+
+
+def test_diff_traces_equal():
+    a = make_trace(["addi", "add"]).entries()
+    b = make_trace(["addi", "add"]).entries()
+    assert diff_traces(a, b) is None
+
+
+def test_diff_traces_length_mismatch():
+    a = make_trace(["addi", "add", "beq"]).entries()
+    b = make_trace(["addi", "add"]).entries()
+    assert diff_traces(a, b) == 2
+
+
+def test_format_contains_pcs():
+    trace = make_trace(["addi"])
+    assert "0x00001000" in trace.format()

@@ -1,0 +1,85 @@
+"""Unit tests for random projection and BIC-based k selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimPointError
+from repro.simpoint.bic import bic_score, choose_k
+from repro.simpoint.kmeans import kmeans
+from repro.simpoint.projection import project, projection_matrix
+
+
+class TestProjection:
+    def test_reduces_dimensions(self):
+        matrix = np.random.default_rng(0).uniform(size=(20, 100))
+        projected = project(matrix, dimensions=15, seed=1)
+        assert projected.shape == (20, 15)
+
+    def test_narrow_matrix_passes_through(self):
+        matrix = np.random.default_rng(0).uniform(size=(20, 10))
+        projected = project(matrix, dimensions=15, seed=1)
+        assert np.array_equal(projected, matrix)
+
+    def test_deterministic_for_seed(self):
+        matrix = np.random.default_rng(0).uniform(size=(5, 50))
+        a = project(matrix, seed=3)
+        b = project(matrix, seed=3)
+        assert np.array_equal(a, b)
+        c = project(matrix, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_distances_roughly_preserved(self):
+        """Johnson-Lindenstrauss sanity: relative distances survive."""
+        rng = np.random.default_rng(5)
+        near = rng.uniform(size=50)
+        matrix = np.vstack([near, near + 0.01, near + 10.0])
+        projected = project(matrix, dimensions=15, seed=0)
+        d_near = np.linalg.norm(projected[0] - projected[1])
+        d_far = np.linalg.norm(projected[0] - projected[2])
+        assert d_far > 10 * d_near
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimPointError):
+            projection_matrix(0, 15)
+        with pytest.raises(SimPointError):
+            projection_matrix(10, 0)
+        with pytest.raises(SimPointError):
+            project(np.zeros(3))
+
+
+class TestBic:
+    def make_blobs(self, k, per=20, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.arange(k)[:, None] * 50.0 * np.ones((k, 4))
+        return np.vstack([c + rng.normal(0, 1.0, size=(per, 4))
+                          for c in centers])
+
+    def test_bic_selects_true_k(self):
+        data = self.make_blobs(3)
+        scores = {k: bic_score(data, kmeans(data, k, seed=k))
+                  for k in range(1, 7)}
+        assert choose_k(scores, threshold=0.9) == 3
+
+    def test_choose_k_prefers_smallest_good_k(self):
+        data = self.make_blobs(2)
+        scores = {k: bic_score(data, kmeans(data, k, seed=k))
+                  for k in range(1, 6)}
+        assert choose_k(scores, threshold=0.9) == 2
+
+    def test_choose_k_threshold_zero_returns_one(self):
+        scores = {1: -100.0, 2: -50.0, 3: -40.0}
+        assert choose_k(scores, threshold=0.0) == 1
+
+    def test_choose_k_handles_equal_scores(self):
+        assert choose_k({1: -5.0, 2: -5.0}) == 1
+
+    def test_choose_k_empty_raises(self):
+        with pytest.raises(SimPointError):
+            choose_k({})
+
+    def test_degenerate_k_equals_samples(self):
+        data = np.eye(3)
+        result = kmeans(data, 3, seed=0)
+        assert bic_score(data, result) == -math.inf

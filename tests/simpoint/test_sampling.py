@@ -1,0 +1,94 @@
+"""Tests for the periodic/random sampling baselines."""
+
+import pytest
+
+from repro.errors import SimPointError
+from repro.isa.assembler import assemble
+from repro.profiling.bbv import BBVProfiler
+from repro.simpoint.sampling import periodic_selection, random_selection
+
+PROGRAM = """
+_start:
+    li t0, 2000
+loop:
+    addi t0, t0, -1
+    xor  t1, t1, t0
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return BBVProfiler(interval_size=100).profile(assemble(PROGRAM))
+
+
+def test_periodic_spacing(profile):
+    selection = periodic_selection(profile, 5)
+    indices = [p.interval_index for p in selection.points]
+    assert len(indices) == 5
+    gaps = [b - a for a, b in zip(indices, indices[1:])]
+    assert max(gaps) - min(gaps) <= 1  # even spacing
+
+
+def test_periodic_weights_sum_to_one(profile):
+    selection = periodic_selection(profile, 4)
+    assert sum(p.weight for p in selection.points) == pytest.approx(1.0)
+
+
+def test_periodic_count_capped(profile):
+    selection = periodic_selection(profile, 10_000)
+    assert len(selection.points) <= profile.num_intervals
+
+
+def test_random_is_seeded(profile):
+    a = random_selection(profile, 5, seed=3)
+    b = random_selection(profile, 5, seed=3)
+    c = random_selection(profile, 5, seed=4)
+    assert [p.interval_index for p in a.points] == \
+        [p.interval_index for p in b.points]
+    assert [p.interval_index for p in a.points] != \
+        [p.interval_index for p in c.points]
+
+
+def test_random_indices_distinct(profile):
+    selection = random_selection(profile, 8, seed=1)
+    indices = [p.interval_index for p in selection.points]
+    assert len(set(indices)) == len(indices)
+    assert all(0 <= i < profile.num_intervals for i in indices)
+
+
+def test_points_carry_exact_boundaries(profile):
+    starts = profile.interval_starts()
+    for selection in (periodic_selection(profile, 3),
+                      random_selection(profile, 3, seed=9)):
+        for point in selection.points:
+            assert point.start_instruction == starts[point.interval_index]
+            assert point.length == \
+                profile.interval_lengths[point.interval_index]
+
+
+def test_invalid_count(profile):
+    with pytest.raises(SimPointError):
+        periodic_selection(profile, 0)
+    with pytest.raises(SimPointError):
+        random_selection(profile, -1)
+
+
+def test_selection_runs_through_the_flow(profile):
+    """A baseline selection drops into the standard experiment path."""
+    from repro.flow.experiment import FlowSettings, run_selection
+    from repro.profiling.bbv import BBVProfiler
+    from repro.uarch.config import MEDIUM_BOOM
+    from repro.workloads.suite import build_program
+
+    settings = FlowSettings(scale=0.1)
+    program = build_program("qsort", scale=settings.scale,
+                            seed=settings.seed)
+    qsort_profile = BBVProfiler(200).profile(program)
+    selection = periodic_selection(qsort_profile, 3)
+    result = run_selection("qsort", MEDIUM_BOOM, selection, settings)
+    assert result.ipc > 0
+    assert len(result.runs) == len(selection.points)

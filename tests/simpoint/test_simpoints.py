@@ -1,0 +1,115 @@
+"""Integration tests for SimPoint selection end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimPointError
+from repro.isa.assembler import assemble
+from repro.profiling.bbv import BBVProfile, BBVProfiler
+from repro.simpoint.simpoints import select_simpoints
+
+THREE_PHASE = """
+_start:
+    li t0, 300
+a:  addi t0, t0, -1
+    xor t1, t1, t0
+    bnez t0, a
+    li t0, 300
+b:  addi t0, t0, -1
+    add t2, t2, t0
+    mul t3, t2, t2
+    bnez t0, b
+    li t0, 300
+c:  addi t0, t0, -1
+    sub t4, t4, t0
+    srli t5, t4, 3
+    or  t6, t6, t5
+    bnez t0, c
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def profile_three_phase():
+    return BBVProfiler(interval_size=100).profile(assemble(THREE_PHASE))
+
+
+def test_detects_three_phases():
+    selection = select_simpoints(profile_three_phase(), seed=3,
+                                 bic_threshold=0.4)
+    # At least the three macro phases must separate.
+    assert selection.chosen_k >= 3
+    top = selection.top_points()
+    assert selection.coverage_of(top) >= 0.9
+
+
+def test_weights_sum_to_one():
+    selection = select_simpoints(profile_three_phase(), seed=3)
+    assert sum(p.weight for p in selection.points) == pytest.approx(1.0)
+
+
+def test_points_reference_valid_intervals():
+    profile = profile_three_phase()
+    selection = select_simpoints(profile, seed=3)
+    for point in selection.points:
+        assert 0 <= point.interval_index < profile.num_intervals
+
+
+def test_representatives_belong_to_their_cluster():
+    profile = profile_three_phase()
+    selection = select_simpoints(profile, seed=3)
+    for point in selection.points:
+        assert selection.labels[point.interval_index] == point.cluster
+
+
+def test_top_points_ranked_by_weight():
+    selection = select_simpoints(profile_three_phase(), seed=3)
+    top = selection.top_points()
+    weights = [p.weight for p in top]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_full_coverage_returns_all_points():
+    selection = select_simpoints(profile_three_phase(), seed=3)
+    everything = selection.top_points(coverage=1.0)
+    assert len(everything) == len(selection.points)
+
+
+def test_deterministic_for_seed():
+    a = select_simpoints(profile_three_phase(), seed=11)
+    b = select_simpoints(profile_three_phase(), seed=11)
+    assert a.chosen_k == b.chosen_k
+    assert [(p.interval_index, p.cluster) for p in a.points] == \
+        [(p.interval_index, p.cluster) for p in b.points]
+
+
+def test_uniform_program_selects_one_phase():
+    uniform = """
+    _start:
+        li t0, 2000
+    loop:
+        addi t0, t0, -1
+        xor  t1, t1, t0
+        bnez t0, loop
+        li a0, 0
+        li a7, 93
+        ecall
+    """
+    profile = BBVProfiler(interval_size=100).profile(assemble(uniform))
+    selection = select_simpoints(profile, seed=5, bic_threshold=0.4)
+    top = selection.top_points()
+    # One dominant phase: the heaviest point covers nearly everything.
+    assert top[0].weight > 0.8
+
+
+def test_empty_profile_raises():
+    empty = BBVProfile(interval_size=10, vectors=[], interval_lengths=[],
+                       blocks=[])
+    with pytest.raises(SimPointError):
+        select_simpoints(empty)
+
+
+def test_max_k_caps_clusters():
+    selection = select_simpoints(profile_three_phase(), seed=3, max_k=2)
+    assert selection.chosen_k <= 2

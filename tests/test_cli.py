@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "MegaBOOM" in out
+    assert "Decode width" in out
+
+
+def test_table2_small_scale(capsys):
+    code, out = run_cli(capsys, "--scale", "0.05", "table2")
+    assert code == 0
+    assert "sha" in out
+    assert "tarfind" in out
+
+
+def test_run_experiment(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.08",
+                        "--cache-dir", str(tmp_path),
+                        "run", "qsort", "MediumBOOM")
+    assert code == 0
+    assert "IPC:" in out
+    assert "Tile power:" in out
+
+
+def test_fig10(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "fig", "10")
+    assert code == 0
+    assert "Fig. 10" in out
+    assert "sha" in out
+
+
+def test_fig9(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "fig", "9")
+    assert code == 0
+    assert "MediumBOOM" in out
+
+
+def test_speedup(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "speedup")
+    assert code == 0
+    assert "TOTAL" in out
+
+
+def test_sweep_summary(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "sweep")
+    assert code == 0
+    assert "perf-per-watt" in out
+
+
+def test_checkpoints_command(capsys, tmp_path):
+    target = tmp_path / "store"
+    code, out = run_cli(capsys, "--scale", "0.05", "checkpoints", "qsort",
+                        str(target))
+    assert code == 0
+    assert "checkpoints" in out
+    assert (target / "manifest.json").exists()
+
+
+def test_pipeline_command(capsys):
+    code, out = run_cli(capsys, "--scale", "0.05", "pipeline", "sha",
+                        "MegaBOOM", "--uops", "8", "--skip", "500")
+    assert code == 0
+    assert "cycles" in out
+    assert "avg_queue_wait" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom", "MegaBOOM"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

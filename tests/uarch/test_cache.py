@@ -1,0 +1,94 @@
+"""Unit tests for the L1 cache timing model."""
+
+from repro.uarch.cache import DEFAULT_MISS_PENALTY, L1Cache
+from repro.uarch.config import CacheParams
+from repro.uarch.stats import CacheStats
+
+
+def make_cache(size=4096, ways=2, mshrs=2, hit_latency=3):
+    stats = CacheStats()
+    cache = L1Cache(CacheParams(size_bytes=size, ways=ways, mshrs=mshrs),
+                    stats, hit_latency=hit_latency)
+    return cache, stats
+
+
+def test_cold_miss_then_hit():
+    cache, stats = make_cache()
+    assert cache.access(0x1000, cycle=0) == DEFAULT_MISS_PENALTY
+    assert cache.access(0x1000, cycle=100) == cache.hit_latency
+    assert stats.reads == 2
+    assert stats.misses == 1
+
+
+def test_same_line_hits():
+    cache, stats = make_cache()
+    cache.access(0x1000, cycle=0)
+    assert cache.access(0x103F, cycle=100) == cache.hit_latency  # same line
+    assert cache.access(0x1040, cycle=200) != cache.hit_latency  # next line
+
+
+def test_lru_replacement():
+    cache, stats = make_cache(size=256, ways=2)  # 2 sets, 2 ways
+    sets = cache.params.sets
+    line = 64
+    base = 0x0
+    way_stride = sets * line
+    cache.access(base, 0)                    # A
+    cache.access(base + way_stride, 100)     # B (same set)
+    cache.access(base, 200)                  # touch A -> B becomes LRU
+    cache.access(base + 2 * way_stride, 300)  # C evicts B
+    assert cache.access(base, 400) == cache.hit_latency           # A kept
+    assert cache.access(base + way_stride, 500) != cache.hit_latency  # B gone
+
+
+def test_dirty_eviction_counts_writeback():
+    cache, stats = make_cache(size=256, ways=1)  # direct-mapped, 4 sets
+    way_stride = cache.params.sets * 64
+    cache.access(0x0, 0, is_write=True)
+    cache.access(way_stride, 100)  # evicts dirty line
+    assert stats.writebacks == 1
+
+
+def test_mshr_merge_secondary_miss():
+    cache, stats = make_cache()
+    first = cache.access(0x1000, cycle=0)
+    # Another miss to the same line merges and waits the residual time.
+    second = cache.access(0x1010, cycle=5)
+    assert second == first - 5
+    assert stats.mshr_allocs == 1
+    assert stats.misses == 2
+    # Once the fill lands, the line hits at normal latency.
+    assert cache.access(0x1010, cycle=first + 1) == cache.hit_latency
+
+
+def test_mshr_exhaustion_returns_none():
+    cache, stats = make_cache(mshrs=2)
+    assert cache.access(0x10000, cycle=0) is not None
+    assert cache.access(0x20000, cycle=0) is not None
+    assert cache.access(0x30000, cycle=0) is None
+    assert stats.mshr_full_stalls == 1
+    # Stats must not double-count the refused access.
+    assert stats.reads == 2
+
+
+def test_mshrs_free_after_fill():
+    cache, stats = make_cache(mshrs=1)
+    cache.access(0x10000, cycle=0)
+    later = DEFAULT_MISS_PENALTY + 1
+    assert cache.access(0x20000, cycle=later) is not None
+    assert stats.mshr_allocs == 2
+
+
+def test_mshr_occupancy_tracks_time():
+    cache, _ = make_cache(mshrs=4)
+    cache.access(0x10000, cycle=0)
+    cache.access(0x20000, cycle=0)
+    assert cache.mshr_occupancy(1) == 2
+    assert cache.mshr_occupancy(DEFAULT_MISS_PENALTY + 1) == 0
+
+
+def test_write_allocates_dirty():
+    cache, stats = make_cache()
+    cache.access(0x5000, 0, is_write=True)
+    assert stats.writes == 1
+    assert stats.reads == 0

@@ -1,0 +1,93 @@
+"""Property tests: the L1 cache model against a reference LRU simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import L1Cache
+from repro.uarch.config import CacheParams
+from repro.uarch.stats import CacheStats
+
+
+class ReferenceLru:
+    """A dict-based fully-explicit LRU cache for differential testing."""
+
+    def __init__(self, sets: int, ways: int, line_bytes: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self.line_shift = line_bytes.bit_length() - 1
+        self.contents: dict[int, list[int]] = {i: [] for i in range(sets)}
+
+    def access(self, address: int) -> bool:
+        line = address >> self.line_shift
+        index = line % self.sets
+        ways = self.contents[index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return True
+        if len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append(line)
+        return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                min_size=1, max_size=200),
+       st.sampled_from([(1024, 2), (4096, 4), (2048, 1)]))
+def test_hit_miss_sequence_matches_reference(addresses, geometry):
+    """Hit/miss decisions match an independent LRU implementation.
+
+    Accesses are spaced far apart in time so MSHR fills never interfere
+    (every miss's fill lands before the next access).
+    """
+    size, ways = geometry
+    params = CacheParams(size_bytes=size, ways=ways, mshrs=64)
+    cache = L1Cache(params, CacheStats(), hit_latency=1, miss_penalty=5)
+    reference = ReferenceLru(params.sets, ways, params.line_bytes)
+    for step, address in enumerate(addresses):
+        cycle = step * 100  # let all fills complete between accesses
+        latency = cache.access(address, cycle)
+        expected_hit = reference.access(address)
+        assert latency is not None
+        actual_hit = latency == cache.hit_latency
+        assert actual_hit == expected_hit, \
+            f"step {step}, address {address:#x}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                min_size=1, max_size=150))
+def test_stats_balance(addresses):
+    """reads == hits + misses; misses == mshr allocs for serial accesses."""
+    params = CacheParams(size_bytes=2048, ways=2, mshrs=64)
+    stats = CacheStats()
+    cache = L1Cache(params, stats, hit_latency=1, miss_penalty=3)
+    for step, address in enumerate(addresses):
+        cache.access(address, step * 50)
+    assert stats.reads == len(addresses)
+    assert stats.misses <= stats.reads
+    assert stats.mshr_allocs == stats.misses
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 20))
+def test_repeat_access_always_hits(address):
+    params = CacheParams(size_bytes=4096, ways=4, mshrs=4)
+    cache = L1Cache(params, CacheStats(), miss_penalty=7)
+    cache.access(address, 0)
+    assert cache.access(address, 100) == cache.hit_latency
+
+
+def test_working_set_within_capacity_never_thrashes():
+    """Touching <= ways lines per set repeatedly is all hits after warmup."""
+    params = CacheParams(size_bytes=4096, ways=4, mshrs=64)
+    stats = CacheStats()
+    cache = L1Cache(params, stats, miss_penalty=3)
+    lines = [i * 64 for i in range(params.sets * params.ways)]
+    for address in lines:
+        cache.access(address, 0)
+    warm_misses = stats.misses
+    for round_index in range(3):
+        for address in lines:
+            cache.access(address, 10_000 + round_index)
+    assert stats.misses == warm_misses

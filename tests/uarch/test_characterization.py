@@ -1,0 +1,90 @@
+"""Characterization sanity: predictor and cache behaviour per workload.
+
+These integration tests pin the *microarchitectural* signatures the
+workloads were designed to have (docs/workloads.md) — the causal layer
+beneath the power results.
+"""
+
+import pytest
+
+from repro.uarch.config import MEGA_BOOM, SMALL_BOOM
+from repro.uarch.core import BoomCore
+from repro.workloads.suite import build_program
+
+
+def measured_stats(workload, config=MEGA_BOOM, skip=30_000, window=8_000):
+    program = build_program(workload, scale=1.0)
+    core = BoomCore(config, program)
+    core.run(skip)
+    stats = core.begin_measurement()
+    core.run(window)
+    return stats
+
+
+def mispredict_rate(stats):
+    branches = stats.retired_by_class.get("BRANCH", 0)
+    if branches == 0:
+        return 0.0
+    return stats.predictor.mispredicts / branches
+
+
+def test_tarfind_mispredicts_most():
+    tarfind = mispredict_rate(measured_stats("tarfind", skip=100_000))
+    sha = mispredict_rate(measured_stats("sha", skip=50_000))
+    dijkstra = mispredict_rate(measured_stats("dijkstra", skip=50_000))
+    assert tarfind > 0.2          # effectively random branch directions
+    assert sha < 0.02             # perfectly predictable loop structure
+    assert dijkstra < 0.05        # branchless kernels
+    assert tarfind > 5 * max(sha, dijkstra)
+
+
+def test_matmult_is_the_dcache_hot_workload():
+    matmult = measured_stats("matmult", skip=60_000)
+    sha = measured_stats("sha", skip=50_000)
+    # Access density (the dominant D$ power term): 2 loads per 7-op iter.
+    matmult_apki = matmult.dcache.reads / matmult.retired
+    sha_apki = sha.dcache.reads / sha.retired
+    assert matmult_apki > 5 * max(sha_apki, 0.01)
+    # And it actually misses, unlike the compute-bound kernels.
+    matmult_mpki = 1000 * matmult.dcache.misses / matmult.retired
+    sha_mpki = 1000 * sha.dcache.misses / sha.retired
+    assert matmult_mpki > sha_mpki
+
+
+def test_patricia_is_load_latency_bound():
+    stats = measured_stats("patricia", skip=80_000)
+    loads = stats.retired_by_class.get("LOAD", 0)
+    assert loads / stats.retired > 0.12   # pointer chasing is load-dense
+    assert stats.ipc < 1.5
+
+
+def test_fp_workloads_use_fp_queue():
+    fft = measured_stats("fft", skip=30_000)
+    assert fft.fp_iq.issues > 1000
+    sha = measured_stats("sha", skip=50_000)
+    assert sha.fp_iq.issues == 0
+
+
+def test_dijkstra_fills_int_queue():
+    dijkstra = measured_stats("dijkstra", skip=50_000)
+    sha = measured_stats("sha", skip=50_000)
+    occupancy_d = dijkstra.int_iq.occupancy / dijkstra.cycles
+    occupancy_s = sha.int_iq.occupancy / sha.cycles
+    assert occupancy_d > 30      # nearly all 40 MegaBOOM slots
+    assert occupancy_d > occupancy_s
+
+
+def test_icache_indifferent_to_workload():
+    """§IV-B: the L1I access pattern is uniform across workloads."""
+    rates = []
+    for workload in ("sha", "dijkstra", "qsort"):
+        stats = measured_stats(workload, skip=20_000, window=6_000)
+        rates.append(stats.icache.reads / stats.cycles)
+    assert max(rates) < 2.5 * min(rates)
+
+
+def test_smallboom_runs_and_is_slowest():
+    small = measured_stats("sha", config=SMALL_BOOM, skip=40_000)
+    mega = measured_stats("sha", config=MEGA_BOOM, skip=40_000)
+    assert small.ipc <= 1.0 + 1e-9    # 1-wide machine
+    assert mega.ipc > 2.5 * small.ipc

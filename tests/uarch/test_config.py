@@ -1,0 +1,126 @@
+"""Tests for the three BOOM configurations (Table I constraints)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    ALL_CONFIGS,
+    BoomConfig,
+    CacheParams,
+    CLOCK_HZ,
+    config_by_name,
+    LARGE_BOOM,
+    MEDIUM_BOOM,
+    MEGA_BOOM,
+    PredictorParams,
+)
+
+
+def test_decode_widths_are_2_3_4():
+    assert MEDIUM_BOOM.decode_width == 2
+    assert LARGE_BOOM.decode_width == 3
+    assert MEGA_BOOM.decode_width == 4
+
+
+def test_integer_rf_ports_match_paper():
+    """§IV-B: 6R/3W, 8R/4W, 12R/6W."""
+    assert (MEDIUM_BOOM.int_rf_read_ports,
+            MEDIUM_BOOM.int_rf_write_ports) == (6, 3)
+    assert (LARGE_BOOM.int_rf_read_ports,
+            LARGE_BOOM.int_rf_write_ports) == (8, 4)
+    assert (MEGA_BOOM.int_rf_read_ports,
+            MEGA_BOOM.int_rf_write_ports) == (12, 6)
+
+
+def test_fp_rf_ports_double_in_mega():
+    """Key Takeaway #2: MegaBOOM has 2x the FP RF ports of LargeBOOM."""
+    assert MEGA_BOOM.fp_rf_read_ports == 2 * LARGE_BOOM.fp_rf_read_ports
+    assert MEGA_BOOM.fp_rf_write_ports == 2 * LARGE_BOOM.fp_rf_write_ports
+
+
+def test_mega_integer_iq_has_40_slots():
+    """Fig. 8 shows 40 integer issue slots in MegaBOOM."""
+    assert MEGA_BOOM.int_iq_entries == 40
+
+
+def test_medium_btb_is_half_sized():
+    """§IV-B: MediumBOOM's BTB is half the size of the other two."""
+    assert MEDIUM_BOOM.predictor.btb_entries * 2 == \
+        LARGE_BOOM.predictor.btb_entries
+    assert LARGE_BOOM.predictor.btb_entries == \
+        MEGA_BOOM.predictor.btb_entries
+
+
+def test_large_and_mega_dcache_same_geometry_mega_more_mshrs():
+    """Key Takeaway #8: identical size/assoc, 2x MSHRs + 2 memory units."""
+    assert LARGE_BOOM.dcache.size_bytes == MEGA_BOOM.dcache.size_bytes
+    assert LARGE_BOOM.dcache.ways == MEGA_BOOM.dcache.ways
+    assert MEGA_BOOM.dcache.mshrs == 2 * LARGE_BOOM.dcache.mshrs
+    assert MEGA_BOOM.mem_units == 2
+    assert LARGE_BOOM.mem_units == 1
+
+
+def test_large_and_mega_share_icache():
+    assert LARGE_BOOM.icache == MEGA_BOOM.icache
+
+
+def test_sizes_grow_with_aggressiveness():
+    for field in ("rob_entries", "int_phys_regs", "fp_phys_regs",
+                  "int_iq_entries", "ldq_entries", "fetch_buffer_entries"):
+        medium = getattr(MEDIUM_BOOM, field)
+        large = getattr(LARGE_BOOM, field)
+        mega = getattr(MEGA_BOOM, field)
+        assert medium < large < mega or medium <= large <= mega, field
+
+
+def test_clock_is_500mhz():
+    assert CLOCK_HZ == 500_000_000
+
+
+def test_config_by_name():
+    assert config_by_name("megaboom") is MEGA_BOOM
+    assert config_by_name("MediumBOOM") is MEDIUM_BOOM
+    with pytest.raises(ConfigError):
+        config_by_name("GigaBOOM")
+
+
+def test_with_predictor_swaps_direction_predictor():
+    gshare = MEGA_BOOM.with_predictor("gshare")
+    assert gshare.predictor.kind == "gshare"
+    assert gshare.predictor.btb_entries == MEGA_BOOM.predictor.btb_entries
+    assert "gshare" in gshare.name
+    assert MEGA_BOOM.predictor.kind == "tage"  # original untouched
+
+
+def test_describe_contains_table_rows():
+    row = MEGA_BOOM.describe()
+    assert row["Decode width"] == 4
+    assert row["Int RF ports (R/W)"] == "12R/6W"
+
+
+def test_cache_params_validation():
+    with pytest.raises(ConfigError):
+        CacheParams(size_bytes=1000, ways=3, mshrs=2)
+
+
+def test_predictor_params_validation():
+    with pytest.raises(ConfigError):
+        PredictorParams(kind="perceptron")
+    with pytest.raises(ConfigError):
+        PredictorParams(tage_tables=3, tage_history_lengths=(4, 8))
+
+
+def test_invalid_config_rejected():
+    import dataclasses
+
+    with pytest.raises(ConfigError):
+        dataclasses.replace(MEDIUM_BOOM, rob_entries=2)
+    with pytest.raises(ConfigError):
+        dataclasses.replace(MEDIUM_BOOM, int_phys_regs=32)
+    with pytest.raises(ConfigError):
+        dataclasses.replace(MEDIUM_BOOM, fetch_width=1)
+
+
+def test_all_configs_tuple():
+    assert [c.name for c in ALL_CONFIGS] == \
+        ["MediumBOOM", "LargeBOOM", "MegaBOOM"]

@@ -1,0 +1,151 @@
+"""Unit tests for execution units, ROB, and the Uop class."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.uarch.execute import ExecutionUnits, LATENCY
+from repro.uarch.config import MEGA_BOOM
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.stats import ExecuteStats, RobStats
+from repro.uarch.uop import COMPLETED, DISPATCHED, ISSUED, Uop
+
+
+class TestExecutionUnits:
+    def make(self):
+        return ExecutionUnits(MEGA_BOOM, ExecuteStats())
+
+    def test_latency_table_covers_non_load_classes(self):
+        for opclass in OpClass:
+            if opclass in (OpClass.LOAD, OpClass.FP_LOAD):
+                continue  # loads get latency from the cache model
+            assert opclass in LATENCY, opclass
+
+    def test_pipelined_ops_always_accepted(self):
+        units = self.make()
+        assert units.can_accept(OpClass.ALU, 0)
+        units.dispatch(OpClass.ALU, 0)
+        assert units.can_accept(OpClass.ALU, 0)
+        assert units.can_accept(OpClass.MUL, 0)
+
+    def test_divider_is_unpipelined(self):
+        units = self.make()
+        latency = units.dispatch(OpClass.DIV, 0)
+        assert not units.can_accept(OpClass.DIV, 1)
+        assert units.can_accept(OpClass.DIV, latency)
+        # FP divide uses a separate iterative unit.
+        assert units.can_accept(OpClass.FP_DIV, 1)
+
+    def test_fp_divider_independent(self):
+        units = self.make()
+        units.dispatch(OpClass.FP_DIV, 0)
+        assert not units.can_accept(OpClass.FP_DIV, 5)
+        assert units.can_accept(OpClass.DIV, 5)
+
+    def test_op_counters(self):
+        units = self.make()
+        units.dispatch(OpClass.ALU, 0)
+        units.dispatch(OpClass.MUL, 0)
+        units.dispatch(OpClass.BRANCH, 0)
+        units.dispatch(OpClass.FP_MUL, 0)
+        units.dispatch(OpClass.STORE, 0)
+        units.count_load_agu()
+        stats = units.stats
+        assert stats.alu_ops == 2       # ALU + branch resolve
+        assert stats.mul_ops == 1
+        assert stats.branch_ops == 1
+        assert stats.fp_mul_ops == 1
+        assert stats.agu_ops == 2       # store AGU + load AGU
+
+    def test_latency_ordering(self):
+        assert LATENCY[OpClass.ALU] < LATENCY[OpClass.MUL] \
+            < LATENCY[OpClass.DIV]
+        assert LATENCY[OpClass.FP_ALU] <= LATENCY[OpClass.FP_MUL] \
+            < LATENCY[OpClass.FP_DIV]
+
+
+class TestRob:
+    def make(self, entries=4):
+        return ReorderBuffer(entries, RobStats())
+
+    def make_uop(self, seq):
+        return Uop(seq, Instruction("add", rd=1, rs1=2, rs2=3))
+
+    def test_capacity(self):
+        rob = self.make(entries=2)
+        rob.push(self.make_uop(0))
+        assert rob.has_space()
+        rob.push(self.make_uop(1))
+        assert not rob.has_space()
+
+    def test_in_order_commit_gate(self):
+        rob = self.make()
+        first = self.make_uop(0)
+        second = self.make_uop(1)
+        rob.push(first)
+        rob.push(second)
+        # Completing the second does not unblock the head.
+        second.state = COMPLETED
+        second.complete_cycle = 5
+        assert not rob.head_completed(10)
+        first.state = COMPLETED
+        first.complete_cycle = 8
+        assert rob.head_completed(8)
+        assert not rob.head_completed(7)  # result not ready yet
+        assert rob.pop() is first
+
+    def test_stats(self):
+        rob = self.make()
+        rob.push(self.make_uop(0))
+        rob.sample()
+        rob.sample()
+        assert rob.stats.dispatch_writes == 1
+        assert rob.stats.occupancy == 2
+        head = rob.head()
+        head.state = COMPLETED
+        head.complete_cycle = 0
+        rob.pop()
+        assert rob.stats.commit_reads == 1
+        assert rob.is_empty
+
+
+class TestUop:
+    def test_state_machine_constants(self):
+        assert DISPATCHED < ISSUED < COMPLETED
+
+    def test_operand_counts(self):
+        assert Uop(0, Instruction("add", rd=1, rs1=2, rs2=3)).x_reads == 2
+        assert Uop(0, Instruction("add", rd=1, rs1=0, rs2=3)).x_reads == 1
+        assert Uop(0, Instruction("addi", rd=1, rs1=2)).x_reads == 1
+        fmadd = Uop(0, Instruction("fmadd.d", rd=1, rs1=2, rs2=3, rs3=4))
+        assert fmadd.f_reads == 3
+        assert fmadd.x_reads == 0
+        fsd = Uop(0, Instruction("fsd", rs1=2, rs2=9))
+        assert fsd.x_reads == 1
+        assert fsd.f_reads == 1
+
+    def test_queue_routing(self):
+        assert Uop(0, Instruction("add")).queue == "int"
+        assert Uop(0, Instruction("ld", rd=1, rs1=2)).queue == "mem"
+        assert Uop(0, Instruction("fadd.d", rd=1)).queue == "fp"
+
+    def test_ready_without_sources(self):
+        uop = Uop(0, Instruction("addi", rd=1, rs1=0))
+        assert uop.ready(0)
+
+    def test_ready_tracks_producers(self):
+        producer = Uop(0, Instruction("add", rd=5))
+        consumer = Uop(1, Instruction("add", rd=6, rs1=5))
+        consumer.srcs = (producer,)
+        assert not consumer.ready(100)
+        producer.state = COMPLETED
+        producer.complete_cycle = 50
+        assert consumer.ready(50)
+        assert not consumer.ready(49)
+
+    def test_store_addr_ready_default(self):
+        assert not Uop(0, Instruction("sd", rs1=1, rs2=2)).addr_ready
+        assert Uop(0, Instruction("ld", rd=1, rs1=2)).addr_ready
+
+    def test_repr(self):
+        text = repr(Uop(7, Instruction("beq", rs1=1, rs2=2, pc=0x1000)))
+        assert "beq" in text and "#7" in text

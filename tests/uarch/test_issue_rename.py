@@ -1,0 +1,159 @@
+"""Unit tests for the collapsing issue queue and rename stage."""
+
+from repro.isa.instructions import Instruction
+from repro.uarch.config import MEDIUM_BOOM
+from repro.uarch.issue import IssueQueue
+from repro.uarch.rename import RenameStage
+from repro.uarch.stats import IssueQueueStats, RenameStats
+from repro.uarch.uop import COMPLETED, Uop
+
+
+def make_uop(seq, mnemonic="add", **kw):
+    return Uop(seq, Instruction(mnemonic, **kw))
+
+
+class TestIssueQueue:
+    def make(self, entries=4):
+        return IssueQueue("int", entries, IssueQueueStats())
+
+    def test_insert_tracks_slot_writes(self):
+        queue = self.make()
+        queue.insert(make_uop(0))
+        queue.insert(make_uop(1))
+        assert queue.stats.slot_writes[0] == 1
+        assert queue.stats.slot_writes[1] == 1
+        assert queue.stats.writes == 2
+
+    def test_space_accounting(self):
+        queue = self.make(entries=2)
+        assert queue.has_space()
+        queue.insert(make_uop(0))
+        queue.insert(make_uop(1))
+        assert not queue.has_space()
+
+    def test_oldest_first_selection(self):
+        queue = self.make()
+        for seq in range(3):
+            queue.insert(make_uop(seq))
+        issued = queue.select(0, 2, lambda u, c: True)
+        assert [u.seq for u in issued] == [0, 1]
+        assert len(queue) == 1
+
+    def test_collapse_counts_shifts(self):
+        queue = self.make()
+        uops = [make_uop(seq) for seq in range(4)]
+        for uop in uops:
+            queue.insert(uop)
+        # Only seq 1 is issueable: entries 2 and 3 shift forward.
+        issued = queue.select(0, 4, lambda u, c: u.seq == 1)
+        assert [u.seq for u in issued] == [1]
+        assert queue.stats.shifts == 2
+        # shifted entries write their new slots (1 and 2)
+        assert queue.stats.slot_writes[1] >= 2
+        assert queue.stats.slot_writes[2] >= 2
+
+    def test_no_issue_no_shift(self):
+        queue = self.make()
+        queue.insert(make_uop(0))
+        queue.insert(make_uop(1))
+        issued = queue.select(0, 2, lambda u, c: False)
+        assert issued == []
+        assert queue.stats.shifts == 0
+
+    def test_sample_per_slot_occupancy(self):
+        queue = self.make()
+        queue.insert(make_uop(0))
+        queue.insert(make_uop(1))
+        queue.sample()
+        queue.sample()
+        assert queue.stats.occupancy == 4
+        assert queue.stats.slot_occupancy[0] == 2
+        assert queue.stats.slot_occupancy[1] == 2
+        assert queue.stats.slot_occupancy[2] == 0
+
+    def test_max_issue_respected(self):
+        queue = self.make()
+        for seq in range(4):
+            queue.insert(make_uop(seq))
+        issued = queue.select(0, 1, lambda u, c: True)
+        assert len(issued) == 1
+
+
+class TestRename:
+    def make(self):
+        return RenameStage(MEDIUM_BOOM, RenameStats(), RenameStats())
+
+    def test_source_dependency_tracked(self):
+        stage = self.make()
+        producer = make_uop(0, "add", rd=5, rs1=1, rs2=2)
+        consumer = make_uop(1, "add", rd=6, rs1=5, rs2=5)
+        stage.rename(producer)
+        stage.rename(consumer)
+        assert consumer.srcs == (producer, producer)
+
+    def test_ready_after_producer_completes(self):
+        stage = self.make()
+        producer = make_uop(0, "add", rd=5)
+        consumer = make_uop(1, "add", rd=6, rs1=5)
+        stage.rename(producer)
+        stage.rename(consumer)
+        assert not consumer.ready(10)
+        producer.state = COMPLETED
+        producer.complete_cycle = 10
+        assert consumer.ready(10)
+        assert not consumer.ready(9)
+
+    def test_free_list_accounting(self):
+        stage = self.make()
+        free0 = stage.int_unit.free
+        uop = make_uop(0, "add", rd=5)
+        stage.rename(uop)
+        assert stage.int_unit.free == free0 - 1
+        stage.commit(uop)
+        assert stage.int_unit.free == free0
+
+    def test_x0_destination_not_renamed(self):
+        stage = self.make()
+        free0 = stage.int_unit.free
+        stage.rename(make_uop(0, "add", rd=0))
+        assert stage.int_unit.free == free0
+
+    def test_fp_and_int_separate(self):
+        stage = self.make()
+        fp = make_uop(0, "fadd.d", rd=3, rs1=1, rs2=2)
+        free_fp0 = stage.fp_unit.free
+        free_int0 = stage.int_unit.free
+        stage.rename(fp)
+        assert stage.fp_unit.free == free_fp0 - 1
+        assert stage.int_unit.free == free_int0
+
+    def test_branch_snapshots_both_units(self):
+        """Key Takeaway #3: every branch snapshots the FP unit too."""
+        stage = self.make()
+        branch = make_uop(0, "beq", rs1=1, rs2=2)
+        stage.rename(branch)
+        assert stage.int_unit.stats.snapshots == 1
+        assert stage.fp_unit.stats.snapshots == 1
+
+    def test_can_rename_exhaustion(self):
+        stage = self.make()
+        uops = []
+        while stage.int_unit.can_allocate():
+            uop = make_uop(len(uops), "add", rd=5)
+            stage.rename(uop)
+            uops.append(uop)
+        assert not stage.can_rename(make_uop(999, "add", rd=6))
+        # stores have no destination: always renameable
+        assert stage.can_rename(make_uop(1000, "sd", rs1=1, rs2=2))
+        stage.commit(uops[0])
+        assert stage.can_rename(make_uop(1001, "add", rd=6))
+
+    def test_mixed_source_classes(self):
+        stage = self.make()
+        int_producer = make_uop(0, "add", rd=2)
+        fp_producer = make_uop(1, "fadd.d", rd=9, rs1=1, rs2=1)
+        stage.rename(int_producer)
+        stage.rename(fp_producer)
+        fsd = make_uop(2, "fsd", rs1=2, rs2=9)
+        stage.rename(fsd)
+        assert set(fsd.srcs) == {int_producer, fp_producer}

@@ -1,0 +1,135 @@
+"""Unit tests for the load/store unit."""
+
+from repro.isa.instructions import Instruction
+from repro.uarch.config import MEDIUM_BOOM
+from repro.uarch.lsu import LoadStoreUnit
+from repro.uarch.stats import LsuStats
+from repro.uarch.uop import Uop
+
+
+def make_load(seq, addr=0x1000):
+    uop = Uop(seq, Instruction("ld", rd=5, rs1=2))
+    uop.mem_addr = addr
+    return uop
+
+
+def make_store(seq, addr=0x1000, addr_ready=False):
+    uop = Uop(seq, Instruction("sd", rs1=2, rs2=3))
+    uop.mem_addr = addr
+    uop.addr_ready = addr_ready
+    return uop
+
+
+def make_lsu():
+    return LoadStoreUnit(MEDIUM_BOOM, LsuStats())
+
+
+def test_dispatch_counts_queue_writes():
+    lsu = make_lsu()
+    lsu.dispatch(make_load(0))
+    lsu.dispatch(make_store(1))
+    assert lsu.stats.ldq_writes == 1
+    assert lsu.stats.stq_writes == 1
+
+
+def test_capacity_limits():
+    lsu = make_lsu()
+    for seq in range(MEDIUM_BOOM.ldq_entries):
+        load = make_load(seq)
+        assert lsu.can_dispatch(load)
+        lsu.dispatch(load)
+    assert not lsu.can_dispatch(make_load(99))
+    assert lsu.can_dispatch(make_store(100))  # STQ independent
+
+
+def test_load_blocked_by_unknown_store_address():
+    lsu = make_lsu()
+    store = make_store(0, addr_ready=False)
+    load = make_load(1)
+    lsu.dispatch(store)
+    lsu.dispatch(load)
+    assert not lsu.load_may_issue(load)
+    store.addr_ready = True
+    assert lsu.load_may_issue(load)
+
+
+def test_load_not_blocked_by_younger_store():
+    lsu = make_lsu()
+    load = make_load(0)
+    younger_store = make_store(1, addr_ready=False)
+    lsu.dispatch(load)
+    lsu.dispatch(younger_store)
+    assert lsu.load_may_issue(load)
+
+
+def test_forwarding_same_address():
+    lsu = make_lsu()
+    store = make_store(0, addr=0x2000, addr_ready=True)
+    load = make_load(1, addr=0x2000)
+    lsu.dispatch(store)
+    lsu.dispatch(load)
+    assert lsu.forwards_from_store(load)
+    assert lsu.stats.forwards == 1
+    assert lsu.stats.cam_searches == 1
+
+
+def test_no_forwarding_different_address():
+    lsu = make_lsu()
+    lsu.dispatch(make_store(0, addr=0x2000, addr_ready=True))
+    load = make_load(1, addr=0x3000)
+    lsu.dispatch(load)
+    assert not lsu.forwards_from_store(load)
+    assert lsu.stats.forwards == 0
+
+
+def test_no_forwarding_from_younger_store():
+    lsu = make_lsu()
+    load = make_load(0, addr=0x2000)
+    lsu.dispatch(load)
+    lsu.dispatch(make_store(1, addr=0x2000, addr_ready=True))
+    assert not lsu.forwards_from_store(load)
+
+
+def test_cam_search_counts_older_entries_only():
+    lsu = make_lsu()
+    for seq in range(3):
+        lsu.dispatch(make_store(seq, addr=0x100 * seq, addr_ready=True))
+    load = make_load(10, addr=0x9000)
+    lsu.dispatch(load)
+    lsu.forwards_from_store(load)
+    assert lsu.stats.cam_searches == 3
+
+
+def test_commit_removes_entries():
+    lsu = make_lsu()
+    load = make_load(0)
+    store = make_store(1, addr_ready=True)
+    lsu.dispatch(load)
+    lsu.dispatch(store)
+    lsu.commit(load)
+    lsu.commit(store)
+    lsu.sample()
+    assert lsu.stats.ldq_occupancy == 0
+    assert lsu.stats.stq_occupancy == 0
+
+
+def test_sample_accumulates_occupancy():
+    lsu = make_lsu()
+    lsu.dispatch(make_load(0))
+    lsu.dispatch(make_load(1))
+    lsu.dispatch(make_store(2))
+    lsu.sample()
+    lsu.sample()
+    assert lsu.stats.ldq_occupancy == 4
+    assert lsu.stats.stq_occupancy == 2
+
+
+def test_forwarding_uses_8_byte_granularity():
+    lsu = make_lsu()
+    lsu.dispatch(make_store(0, addr=0x2000, addr_ready=True))
+    same_dword = make_load(1, addr=0x2004)
+    lsu.dispatch(same_dword)
+    assert lsu.forwards_from_store(same_dword)
+    next_dword = make_load(2, addr=0x2008)
+    lsu.dispatch(next_dword)
+    assert not lsu.forwards_from_store(next_dword)

@@ -1,0 +1,109 @@
+"""Tests for the pipeline waterfall visualizer."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import MEDIUM_BOOM
+from repro.uarch.pipeview import (
+    render_waterfall,
+    summarize_timings,
+    trace_program,
+)
+
+SOURCE = """
+    .data
+cell: .dword 5
+    .text
+_start:
+    la   t0, cell
+    ld   t1, 0(t0)
+    addi t2, t1, 1
+    mul  t3, t2, t2
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def timings():
+    return trace_program(assemble(SOURCE), MEDIUM_BOOM)
+
+
+def test_all_uops_captured(timings):
+    mnemonics = [t.mnemonic for t in timings]
+    assert mnemonics[-1] == "ecall"
+    assert "mul" in mnemonics
+
+
+def test_stage_ordering_invariant(timings):
+    for timing in timings:
+        assert timing.dispatch <= timing.issue
+        assert timing.issue < timing.complete
+        assert timing.complete <= timing.commit
+
+
+def test_program_order_commit(timings):
+    commits = [t.commit for t in timings]
+    assert commits == sorted(commits)
+    seqs = [t.seq for t in timings]
+    assert seqs == sorted(seqs)
+
+
+def test_dependent_chain_visible(timings):
+    load_index = next(i for i, t in enumerate(timings)
+                      if t.mnemonic == "ld")
+    load = timings[load_index]
+    dependent = timings[load_index + 1]   # addi on the load result
+    consumer = timings[load_index + 2]    # mul on the addi result
+    assert dependent.mnemonic == "addi"
+    assert consumer.mnemonic == "mul"
+    # addi waits for the load's result; mul for addi's.
+    assert dependent.issue >= load.complete
+    assert consumer.issue >= dependent.complete
+    # the multiply takes longer than the add
+    assert consumer.latency > dependent.latency
+
+
+def test_waterfall_rendering(timings):
+    text = render_waterfall(timings)
+    assert "ld" in text
+    lines = text.splitlines()
+    assert len(lines) == len(timings) + 1  # header
+    for line in lines[1:]:
+        assert "D" in line and "C" in line and "R" in line
+
+
+def test_waterfall_empty():
+    assert "no retired uops" in render_waterfall([])
+
+
+def test_summary(timings):
+    summary = summarize_timings(timings)
+    assert summary["uops"] == len(timings)
+    assert summary["avg_latency"] >= 1.0
+    assert summary["span_cycles"] > 0
+    assert summarize_timings([]) == {"uops": 0}
+
+
+def test_skip_instructions():
+    source = """
+    _start:
+        li t0, 50
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    """
+    later = trace_program(assemble(source), MEDIUM_BOOM, max_uops=8,
+                          skip_instructions=40)
+    assert later[0].seq >= 40
+
+
+def test_max_columns_caps_width():
+    timings = trace_program(assemble(SOURCE), MEDIUM_BOOM)
+    text = render_waterfall(timings, max_columns=10)
+    for line in text.splitlines()[1:]:
+        body = line.split("|")[1]
+        assert len(body) <= 10

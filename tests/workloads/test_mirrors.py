@@ -1,0 +1,170 @@
+"""Unit tests for the workload mirror functions themselves.
+
+The mirrors are the reference semantics of each benchmark; these tests
+pin them against independent implementations (Python builtins, brute
+force) so a generator bug cannot hide behind a matching-but-wrong mirror.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generators import (
+    basicmath,
+    dijkstra,
+    fft,
+    matmult,
+    qsort,
+    sha,
+    stringsearch,
+    tarfind,
+)
+
+
+class TestBasicmathMirror:
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    @settings(max_examples=50)
+    def test_isqrt_close_to_true_sqrt(self, value):
+        """3 Newton iterations from value/2: a coarse but monotone-ish
+        overestimate of the true root (the benchmark's arithmetic is the
+        point, not convergence)."""
+        estimate = basicmath._isqrt(value)
+        true = math.isqrt(value)
+        assert estimate >= true  # Newton from above stays above
+        assert estimate >= 1
+
+    def test_poly_mix_deterministic_and_mixing(self):
+        a = basicmath._poly_mix(12345)
+        assert a == basicmath._poly_mix(12345)
+        assert a != basicmath._poly_mix(12346)
+        assert 0 <= a < (1 << 64)
+
+
+class TestStringsearchMirror:
+    @given(st.binary(min_size=0, max_size=300),
+           st.binary(min_size=1, max_size=6))
+    @settings(max_examples=60)
+    def test_horspool_counts_at_least_nonoverlapping(self, text, pattern):
+        """Horspool finds every occurrence a naive scan finds when it
+        shifts past matches (the implementations agree on counts for
+        non-self-overlapping patterns; here we just bound it)."""
+        matches = stringsearch._horspool(text, pattern)
+        naive = sum(1 for i in range(len(text) - len(pattern) + 1)
+                    if text[i:i + len(pattern)] == pattern)
+        assert 0 <= matches <= naive
+
+    def test_horspool_exact_on_simple_case(self):
+        assert stringsearch._horspool(b"abcabcabc", b"abc") == 3
+        assert stringsearch._horspool(b"aaaa", b"ab") == 0
+
+
+class TestQsortMirror:
+    def test_checksum_is_order_independent_input(self):
+        a = qsort._mirror(0.1, 7)
+        b = qsort._mirror(0.1, 7)
+        assert a == b
+
+    def test_values_distinct_enough_to_sort(self):
+        values = qsort._values(7, 100)
+        assert len(set(values)) == 100
+
+
+class TestShaMirror:
+    def test_digest_changes_with_any_input(self):
+        assert sha._mirror(0.05, 1) != sha._mirror(0.05, 2)
+        assert sha._mirror(0.05, 1) != sha._mirror(0.06, 1)
+
+    def test_state_initialization_odd(self):
+        # lanes start from odd values (| 1), never zero
+        assert all(v & 1 for v in sha._initial_state(123))
+
+
+class TestDijkstraMirror:
+    def test_distances_match_networkx(self):
+        """The mirror's checksum equals one recomputed with networkx."""
+        import networkx as nx
+
+        n = dijkstra._vertex_count(0.05)
+        matrix = dijkstra._graph(7, n)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(n):
+                if matrix[i * n + j]:
+                    graph.add_edge(i, j, weight=matrix[i * n + j])
+        checksum = 0
+        for source in range(dijkstra._SOURCES):
+            start = (source * 7) % n
+            lengths = nx.single_source_dijkstra_path_length(
+                graph, start, weight="weight")
+            total = sum(lengths.get(i, dijkstra._INF) for i in range(n))
+            checksum = (checksum + total) & ((1 << 64) - 1)
+        assert checksum == dijkstra._mirror(0.05, 7)
+
+
+class TestFftMirror:
+    def test_transform_matches_numpy(self):
+        """One forward pass equals numpy.fft.fft bit-for-nearly."""
+        import numpy as np
+
+        n = 64
+        re, im = fft._signal(7, n)
+        wre, wim = fft._twiddles(n, inverse=False)
+        rev = [fft._bit_reverse(i, 6) for i in range(n)]
+        work_re, work_im = list(re), list(im)
+        fft._transform(work_re, work_im, wre, wim, rev, False, 1.0 / n)
+        reference = np.fft.fft(np.asarray(re) + 1j * np.asarray(im))
+        measured = np.asarray(work_re) + 1j * np.asarray(work_im)
+        assert np.allclose(measured, reference, rtol=1e-9, atol=1e-9)
+
+    def test_ifft_inverts_fft(self):
+        n = 64
+        re, im = fft._signal(3, n)
+        wre_f, wim_f = fft._twiddles(n, inverse=False)
+        wre_i, wim_i = fft._twiddles(n, inverse=True)
+        rev = [fft._bit_reverse(i, 6) for i in range(n)]
+        work_re, work_im = list(re), list(im)
+        fft._transform(work_re, work_im, wre_f, wim_f, rev, False, 1.0 / n)
+        fft._transform(work_re, work_im, wre_i, wim_i, rev, True, 1.0 / n)
+        for original, roundtrip in zip(re, work_re):
+            assert abs(original - roundtrip) < 1e-9
+
+
+class TestMatmultMirror:
+    def test_checksum_matches_numpy(self):
+        import numpy as np
+
+        n = matmult._dimension(0.05)
+        a, b = matmult._matrices(7, n)
+        product = np.asarray(a, dtype=object).reshape(n, n) @ \
+            np.asarray(b, dtype=object).reshape(n, n)
+        checksum = int(product.sum()) & ((1 << 64) - 1)
+        assert checksum == matmult._mirror(0.05, 7)
+
+
+class TestTarfindMirror:
+    def test_archive_structure(self):
+        archive, sizes = tarfind._build_archive(7, 8)
+        offset = 0
+        for index, size in enumerate(sizes):
+            name = archive[offset:offset + 16]
+            assert name.startswith(f"file{index:04d}".encode())
+            octal = archive[offset + 124:offset + 135]
+            assert int(octal, 8) == size
+            offset += 512 + ((size + 511) // 512) * 512
+        assert offset == len(archive)
+
+    def test_checksum_data_against_direct_loop(self):
+        data = bytes(range(256))
+        acc = tarfind._checksum_data(data, 0)
+        expected = 0
+        mask = (1 << 64) - 1
+        for byte in data:
+            if byte & 1:
+                if byte & 2:
+                    expected = (expected + (byte << 1)) & mask
+                else:
+                    expected = (expected + byte) & mask
+            else:
+                expected ^= byte
+        assert acc == expected
