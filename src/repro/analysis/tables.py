@@ -44,14 +44,21 @@ class TableIIRow:
     paper_simpoints: int
 
 
-def table_ii(settings: FlowSettings | None = None) -> list[TableIIRow]:
-    """Measure Table II: run profiling + SimPoint selection per workload."""
+def table_ii(settings: FlowSettings | None = None,
+             store=None) -> list[TableIIRow]:
+    """Measure Table II: run profiling + SimPoint selection per workload.
+
+    Pass an :class:`~repro.pipeline.artifacts.ArtifactStore` to reuse
+    (and populate) cached profiling/selection artifacts — the same ones
+    the sweep's pipeline stages share.
+    """
     if settings is None:
         settings = FlowSettings()
     rows = []
     for name in workload_names():
         spec = get_workload(name)
-        profile, selection = profile_and_select(name, settings)
+        profile, selection = profile_and_select(name, settings,
+                                                store=store)
         top = selection.top_points()
         rows.append(TableIIRow(
             benchmark=name,

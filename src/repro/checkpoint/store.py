@@ -4,6 +4,14 @@ The paper's flow materializes Spike checkpoints as files consumed later by
 the Chipyard testbench; this module provides the same decoupling: write a
 workload's SimPoint checkpoints into a directory (one ``.ckpt`` per point
 plus a JSON manifest), reload them later without re-running profiling.
+
+The experiment flow itself no longer manages checkpoint directories
+directly: its checkpoint sets live *inside* the content-addressed
+artifact store (see :mod:`repro.pipeline.artifacts`), which uses this
+module's format — ``save_checkpoints``/``load_checkpoints`` — for each
+``checkpoints/<fingerprint>/`` directory.  Corrupt stores (truncated
+blobs, garbage manifests) always surface as :class:`CheckpointError`,
+which the artifact store turns into a discard-and-recompute.
 """
 
 from __future__ import annotations
@@ -67,15 +75,33 @@ def load_checkpoints(directory: Path | str,
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
         raise CheckpointError(f"no checkpoint manifest in {directory}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint manifest in {directory}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint manifest in {directory}: not a mapping")
     checkpoints = []
     for name, entry in manifest.items():
-        if workload is not None and entry["workload"] != workload:
+        try:
+            entry_workload = entry["workload"]
+        except (TypeError, KeyError) as exc:
+            raise CheckpointError(
+                f"corrupt manifest entry {name!r} in {directory}") from exc
+        if workload is not None and entry_workload != workload:
             continue
         path = directory / name
         if not path.exists():
             raise CheckpointError(f"manifest references missing {name}")
-        checkpoints.append(Checkpoint.from_bytes(path.read_bytes()))
+        try:
+            checkpoints.append(Checkpoint.from_bytes(path.read_bytes()))
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint blob {name}: {exc}") from exc
     if workload is not None and not checkpoints:
         raise CheckpointError(
             f"no checkpoints for workload {workload!r} in {directory}")

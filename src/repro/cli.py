@@ -8,7 +8,9 @@ Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
     repro-cli fig 10 --scale 1.0
     repro-cli takeaways --gshare
     repro-cli speedup
-    repro-cli sweep
+    repro-cli sweep --verbose --jobs 4
+    repro-cli cache stats
+    repro-cli cache invalidate --stage detailed_sim
 """
 
 from __future__ import annotations
@@ -49,7 +51,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    rows = table_ii(FlowSettings(scale=args.scale, seed=args.seed))
+    runner = _runner(args)
+    rows = table_ii(runner.settings, store=runner.store)
     print(format_table_ii(rows))
     return 0
 
@@ -126,6 +129,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = _runner(args)
     results = runner.run_all(jobs=args.jobs)
     print(summarize(results).format())
+    if args.verbose and runner.last_manifest is not None:
+        print()
+        print(runner.last_manifest.format())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.flow.sweep import MANIFEST_NAME
+    from repro.pipeline import ArtifactStore, RunManifest, STAGE_ORDER
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "stats":
+        counts = store.artifact_counts()
+        legacy = store.legacy_files()
+        if not counts and not legacy:
+            print(f"{args.cache_dir}: empty")
+            return 0
+        print(f"{'stage':<22}{'artifacts':>10}{'bytes':>12}")
+        for stage in STAGE_ORDER:
+            if stage in counts:
+                number, size = counts[stage]
+                print(f"{stage:<22}{number:>10}{size:>12,}")
+        for stage in sorted(set(counts) - set(STAGE_ORDER)):
+            number, size = counts[stage]
+            print(f"{stage:<22}{number:>10}{size:>12,}")
+        if legacy:
+            print(f"{'(legacy layout)':<22}{len(legacy):>10}"
+                  f"{sum(p.stat().st_size for p in legacy):>12,}")
+        manifest_path = Path(args.cache_dir) / MANIFEST_NAME
+        if manifest_path.exists():
+            import json
+
+            manifest = RunManifest.from_dict(
+                json.loads(manifest_path.read_text()))
+            print("\nlast sweep:")
+            print(manifest.format())
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {args.cache_dir}")
+        return 0
+    # invalidate: drop the stage AND everything downstream of it, since
+    # downstream artifacts were derived from the invalidated outputs.
+    if args.stage is None:
+        print("cache invalidate requires --stage", file=sys.stderr)
+        return 2
+    if args.stage not in STAGE_ORDER:
+        print(f"unknown stage {args.stage!r}; one of: "
+              f"{', '.join(STAGE_ORDER)}", file=sys.stderr)
+        return 2
+    removed = 0
+    for stage in STAGE_ORDER[STAGE_ORDER.index(args.stage):]:
+        dropped = store.invalidate_stage(stage)
+        if dropped:
+            print(f"  {stage}: {dropped} artifacts")
+        removed += dropped
+    print(f"removed {removed} artifacts from {args.cache_dir}")
     return 0
 
 
@@ -257,9 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
     speedup_parser.add_argument("--config", default="MegaBOOM")
     speedup_parser.set_defaults(handler=_cmd_speedup)
 
-    commands.add_parser(
-        "sweep", help="full study + efficiency summary").set_defaults(
-        handler=_cmd_sweep)
+    sweep_parser = commands.add_parser(
+        "sweep", help="full study + efficiency summary")
+    sweep_parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print the per-stage run manifest (executions, cache "
+             "hits/misses, timings)")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or prune the stage artifact cache")
+    cache_parser.add_argument("action",
+                              choices=("stats", "clear", "invalidate"))
+    cache_parser.add_argument(
+        "--stage", default=None,
+        help="stage to invalidate (with everything downstream of it)")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     commands.add_parser(
         "workloads", help="list the benchmark suite").set_defaults(

@@ -1,4 +1,9 @@
-"""The end-to-end experimental flow (paper Figs. 3 and 4)."""
+"""The end-to-end experimental flow (paper Figs. 3 and 4).
+
+Since the staged-pipeline refactor the flow is a composition of
+content-addressed stages; see :mod:`repro.pipeline` for the stage and
+artifact-store machinery re-exported here.
+"""
 
 from repro.flow.experiment import (
     DEFAULT_BIC_THRESHOLD,
@@ -6,10 +11,12 @@ from repro.flow.experiment import (
     FlowSettings,
     profile_and_select,
     run_experiment,
+    run_selection,
 )
 from repro.flow.results import ExperimentResult, SimPointRun
 from repro.flow.speedup import speedup_report, SpeedupReport, SpeedupRow
 from repro.flow.sweep import DEFAULT_CACHE_DIR, MODEL_VERSION, SweepRunner
+from repro.pipeline import ArtifactStore, ExperimentPipeline, RunManifest
 
 __all__ = [
     "DEFAULT_BIC_THRESHOLD",
@@ -17,6 +24,7 @@ __all__ = [
     "FlowSettings",
     "profile_and_select",
     "run_experiment",
+    "run_selection",
     "ExperimentResult",
     "SimPointRun",
     "speedup_report",
@@ -25,4 +33,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "MODEL_VERSION",
     "SweepRunner",
+    "ArtifactStore",
+    "ExperimentPipeline",
+    "RunManifest",
 ]

@@ -1,4 +1,4 @@
-"""The end-to-end experiment: paper Fig. 3 and Fig. 4 as one function.
+"""The end-to-end experiment: paper Fig. 3 and Fig. 4 as staged pipeline.
 
 For one (workload, configuration) pair:
 
@@ -10,6 +10,12 @@ For one (workload, configuration) pair:
    run the warm-up un-measured, then measure the interval (Verilator
    stage) and convert activity to power (Joules stage),
 6. aggregate SimPoint-weighted IPC and per-component power.
+
+Each step is a discrete :mod:`repro.pipeline.stages` stage whose output
+is cached under a content-addressed fingerprint, so steps 1-4 — which
+depend only on the workload — are computed once and shared by every
+configuration and predictor (see DESIGN.md, "Pipeline stages & artifact
+cache").
 
 Example::
 
@@ -24,14 +30,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.checkpoint.creator import create_checkpoints, DEFAULT_WARMUP
-from repro.flow.results import ExperimentResult, SimPointRun
-from repro.power.model import PowerModel
-from repro.profiling.bbv import BBVProfile, BBVProfiler
-from repro.simpoint.simpoints import select_simpoints, SimPointSelection
+from repro.checkpoint.creator import DEFAULT_WARMUP
+from repro.flow.results import ExperimentResult
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.stages import (
+    ExperimentPipeline,
+    assemble_result,
+    compute_checkpoints,
+    power_runs_from_raw,
+    simulate_raw_runs,
+)
+from repro.profiling.bbv import BBVProfile
+from repro.simpoint.simpoints import SimPointSelection
 from repro.uarch.config import BoomConfig
-from repro.uarch.core import BoomCore
-from repro.workloads.suite import build_program, get_workload
+from repro.workloads.suite import build_program
 
 #: BIC threshold tuned for 1:1000-scale workloads: the scaled programs
 #: expose more fine-grained phase structure than the paper's full-length
@@ -43,7 +55,12 @@ DEFAULT_SEED = 17
 
 @dataclass(frozen=True)
 class FlowSettings:
-    """Knobs of the experimental flow, fixed across the whole study."""
+    """Knobs of the experimental flow, fixed across the whole study.
+
+    Every field participates in the pipeline's stage fingerprints, so
+    changing any of them — including ``bic_threshold``, ``max_k`` and
+    ``coverage`` — invalidates the affected cached artifacts.
+    """
 
     scale: float = 1.0
     seed: int = DEFAULT_SEED
@@ -56,29 +73,33 @@ class FlowSettings:
         return max(200, int(self.warmup * self.scale))
 
 
-def profile_and_select(workload: str, settings: FlowSettings) -> \
+def _pipeline(settings: FlowSettings,
+              store: ArtifactStore | None) -> ExperimentPipeline:
+    if store is None:
+        store = ArtifactStore(None)
+    return ExperimentPipeline(store, settings)
+
+
+def profile_and_select(workload: str, settings: FlowSettings,
+                       store: ArtifactStore | None = None) -> \
         tuple[BBVProfile, SimPointSelection]:
-    """Stages 1-3: profile BBVs and select SimPoints for one workload."""
-    spec = get_workload(workload)
-    program = build_program(workload, scale=settings.scale,
-                            seed=settings.seed)
-    interval = spec.interval_for_scale(settings.scale)
-    profile = BBVProfiler(interval).profile(program)
-    selection = select_simpoints(profile, max_k=settings.max_k,
-                                 seed=settings.seed,
-                                 bic_threshold=settings.bic_threshold,
-                                 coverage=settings.coverage)
-    return profile, selection
+    """Stages 1-3: profile BBVs and select SimPoints for one workload.
+
+    With a ``store``, both artifacts are served from / persisted to the
+    content-addressed cache shared with the full experiment flow.
+    """
+    pipeline = _pipeline(settings, store)
+    return pipeline.profile(workload), pipeline.selection(workload)
 
 
 def run_experiment(workload: str, config: BoomConfig,
                    scale: float = 1.0,
-                   settings: FlowSettings | None = None) -> ExperimentResult:
-    """Run the full flow for one (workload, configuration) pair."""
+                   settings: FlowSettings | None = None,
+                   store: ArtifactStore | None = None) -> ExperimentResult:
+    """Run the full staged flow for one (workload, configuration) pair."""
     if settings is None:
         settings = FlowSettings(scale=scale)
-    _, selection = profile_and_select(workload, settings)
-    return run_selection(workload, config, selection, settings)
+    return _pipeline(settings, store).result(workload, config)
 
 
 def run_selection(workload: str, config: BoomConfig,
@@ -88,34 +109,13 @@ def run_selection(workload: str, config: BoomConfig,
 
     This is how alternative sampling policies (periodic/random baselines
     in :mod:`repro.simpoint.sampling`) reuse the checkpoint + detailed
-    simulation + power machinery unchanged.
+    simulation + power machinery unchanged.  External selections have no
+    content address, so this path is deliberately uncached.
     """
     program = build_program(workload, scale=settings.scale,
                             seed=settings.seed)
-    checkpoints = create_checkpoints(program, selection,
-                                     warmup=settings.scaled_warmup())
-    model = PowerModel(config)
-    result = ExperimentResult(
-        workload=workload, config_name=config.name, scale=settings.scale,
-        total_instructions=selection.total_instructions,
-        interval_size=selection.interval_size,
-        num_intervals=selection.num_intervals,
-        chosen_k=selection.chosen_k,
-        coverage=selection.coverage_of(selection.top_points()))
-    for checkpoint in checkpoints:
-        core = BoomCore(config, program, state=checkpoint.restore())
-        if checkpoint.warmup_instructions:
-            core.run(checkpoint.warmup_instructions)
-        stats = core.begin_measurement()
-        window = checkpoint.measure_instructions or selection.interval_size
-        measured = core.run(window)
-        report = model.report(stats, workload=workload)
-        result.runs.append(SimPointRun(
-            interval_index=checkpoint.interval_index,
-            weight=checkpoint.weight,
-            warmup_instructions=checkpoint.warmup_instructions,
-            measured_instructions=measured,
-            cycles=stats.cycles,
-            ipc=stats.ipc,
-            report=report))
-    return result
+    checkpoints = compute_checkpoints(workload, settings, selection)
+    raw = simulate_raw_runs(config, program, checkpoints,
+                            selection.interval_size)
+    runs = power_runs_from_raw(raw, config, workload)
+    return assemble_result(workload, config, settings, selection, runs)

@@ -29,6 +29,7 @@ from repro.analysis.tables import format_table_ii, table_i, table_ii
 from repro.analysis.takeaways import check_all
 from repro.flow.speedup import speedup_report
 from repro.flow.sweep import SweepRunner
+from repro.pipeline.manifest import RunManifest
 from repro.power.area import ANALYZED_COMPONENTS
 from repro.workloads.suite import workload_names
 
@@ -146,4 +147,12 @@ def generate_report(runner: SweepRunner,
 
     sections.append("\n## Efficiency summary\n")
     sections.append("```\n" + summarize(results).format() + "\n```")
+
+    sections.append("\n## Pipeline cache\n")
+    sections.append(
+        "Per-stage execution and artifact-cache accounting for the "
+        "sweeps behind this report (see DESIGN.md, \"Pipeline stages & "
+        "artifact cache\").\n")
+    cumulative = RunManifest(stages=runner.store.stats_snapshot())
+    sections.append("```\n" + cumulative.format() + "\n```")
     return "\n".join(sections)

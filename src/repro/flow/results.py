@@ -8,6 +8,7 @@ serialize to plain dictionaries so sweeps can be cached on disk.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
@@ -143,6 +144,15 @@ class ExperimentResult:
             "coverage": self.coverage,
             "runs": [run.to_dict() for run in self.runs],
         }
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON form.
+
+        Byte-identical for equal results regardless of how they were
+        produced — the form the serial-vs-parallel determinism guarantee
+        is stated (and tested) in.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":

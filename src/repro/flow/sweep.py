@@ -1,11 +1,28 @@
-"""Sweeps: all workloads x all configurations, with a disk cache.
+"""Sweeps: all workloads x all configurations, at stage granularity.
 
-The figure/table benchmarks all consume the same full sweep, so results
-are cached as JSON keyed by (workload, config, predictor, scale, seed,
-model version).  Delete the cache directory to force recomputation.
-Pass ``jobs > 1`` to :meth:`SweepRunner.run_all` to fan uncached
-experiments out across processes (each experiment is independent and
-fully seeded, so the parallel path is bit-identical to the serial one).
+The figure/table benchmarks all consume the same full sweep.  Work is
+scheduled per pipeline *stage* (see :mod:`repro.pipeline.stages`), not
+per experiment: BBV profiling, SimPoint selection and checkpoint
+creation are computed exactly once per workload and shared by every
+configuration x predictor combination, with every stage's output cached
+in a content-addressed :class:`~repro.pipeline.artifacts.ArtifactStore`.
+Delete the cache directory (or use ``repro-cli cache``) to force
+recomputation.
+
+Pass ``jobs > 1`` to :meth:`SweepRunner.run_all` to fan the work out
+across processes in two waves — first the per-workload stages, then the
+per-experiment detailed-simulation stages.  Every stage is fully seeded,
+so the parallel path is bit-identical to the serial one.
+
+Each ``run_all`` produces a :class:`~repro.pipeline.manifest.RunManifest`
+(``SweepRunner.last_manifest``) with per-stage execution counts, cache
+hits/misses and wall-clock timings; with a disk cache it is also written
+to ``<cache>/run_manifest.json``.
+
+Results cached by the pre-pipeline layout (flat ``v11_*.json`` files in
+the cache root, e.g. the committed ``.repro_cache``) are migrated into
+the artifact store on first access, so existing figure/table commands
+keep working without recomputation.
 """
 
 from __future__ import annotations
@@ -13,24 +30,52 @@ from __future__ import annotations
 import json
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from time import perf_counter
 
-from repro.flow.experiment import FlowSettings, run_experiment
+from repro.flow.experiment import FlowSettings
 from repro.flow.results import ExperimentResult
+from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.stages import ExperimentPipeline, RESULT_STAGE
 from repro.uarch.config import ALL_CONFIGS, BoomConfig
 from repro.workloads.suite import workload_names
 
-#: bump when the models change to invalidate cached sweeps
-MODEL_VERSION = 11
+__all__ = ["DEFAULT_CACHE_DIR", "MODEL_VERSION", "SweepRunner"]
 
 DEFAULT_CACHE_DIR = Path(".repro_cache")
 
+MANIFEST_NAME = "run_manifest.json"
 
-def _run_one(task: tuple[str, BoomConfig, FlowSettings]) -> dict:
-    """Process-pool worker: run one experiment, return its dict form."""
-    workload, config, settings = task
-    result = run_experiment(workload, config, scale=settings.scale,
-                            settings=settings)
-    return result.to_dict()
+#: settings the legacy cache-key scheme did NOT encode; legacy artifacts
+#: are only trusted when these match the values the flow shipped with
+_LEGACY_SETTINGS = FlowSettings()
+
+
+def _prepare_worker(task: tuple) -> tuple:
+    """Process-pool worker: materialize one workload's shared stages."""
+    workload, settings, root = task
+    store = ArtifactStore(root)
+    pipeline = ExperimentPipeline(store, settings)
+    pipeline.prepare_workload(workload)
+    inline = None
+    if root is None:
+        # No shared disk: ship the live artifacts back to the parent.
+        inline = (pipeline.selection(workload),
+                  pipeline.checkpoints(workload))
+    return store.stats_dict(), inline
+
+
+def _experiment_worker(task: tuple) -> tuple:
+    """Process-pool worker: one experiment's detailed stages."""
+    workload, config, settings, root, inline = task
+    store = ArtifactStore(root)
+    pipeline = ExperimentPipeline(store, settings)
+    if inline is not None:
+        selection, checkpoints = inline
+        pipeline.adopt_workload(workload, selection=selection,
+                                checkpoints=checkpoints)
+    result = pipeline.result(workload, config)
+    return result.to_dict(), store.stats_dict()
 
 
 class SweepRunner:
@@ -40,85 +85,149 @@ class SweepRunner:
                  cache_dir: Path | str | None = DEFAULT_CACHE_DIR) -> None:
         self.settings = settings if settings is not None else FlowSettings()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self._memory: dict[str, ExperimentResult] = {}
+        self.store = ArtifactStore(self.cache_dir)
+        self.pipeline = ExperimentPipeline(self.store, self.settings)
+        self.last_manifest: RunManifest | None = None
 
-    def _key(self, workload: str, config: BoomConfig) -> str:
+    # ------------------------------------------------------------------
+    # legacy whole-experiment cache migration
+    # ------------------------------------------------------------------
+
+    def _legacy_key(self, workload: str, config: BoomConfig) -> str:
         settings = self.settings
         return (f"v{MODEL_VERSION}_{workload}_{config.name}"
                 f"_{config.predictor.kind}_s{settings.scale:g}"
                 f"_r{settings.seed}_w{settings.warmup}")
 
-    # ------------------------------------------------------------------
-    # cache plumbing
-    # ------------------------------------------------------------------
+    def _legacy_result(self, workload: str,
+                       config: BoomConfig) -> ExperimentResult | None:
+        """Recover a result from the pre-pipeline flat-file layout.
 
-    def _load_cached(self, workload: str,
-                     config: BoomConfig) -> ExperimentResult | None:
-        key = self._key(workload, config)
-        cached = self._memory.get(key)
-        if cached is not None:
-            return cached
-        if self.cache_dir is not None:
-            path = self.cache_dir / f"{key}.json"
-            if path.exists():
-                result = ExperimentResult.from_dict(
-                    json.loads(path.read_text()))
-                self._memory[key] = result
-                return result
-        return None
-
-    def _store(self, workload: str, config: BoomConfig,
-               result: ExperimentResult) -> None:
-        key = self._key(workload, config)
-        self._memory[key] = result
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            (self.cache_dir / f"{key}.json").write_text(
-                json.dumps(result.to_dict()))
+        The legacy key omitted ``bic_threshold``, ``max_k`` and
+        ``coverage``, so legacy files are only trusted when those
+        settings match the defaults the files were produced with —
+        anything else must recompute (the stale-cache bug the staged
+        pipeline fixes).
+        """
+        if self.cache_dir is None:
+            return None
+        settings = self.settings
+        if (settings.bic_threshold, settings.max_k, settings.coverage) != \
+                (_LEGACY_SETTINGS.bic_threshold, _LEGACY_SETTINGS.max_k,
+                 _LEGACY_SETTINGS.coverage):
+            return None
+        path = self.cache_dir / f"{self._legacy_key(workload, config)}.json"
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            result = ExperimentResult.from_dict(data)
+        except Exception:
+            return None
+        if result.workload != workload or result.config_name != config.name:
+            return None
+        return result
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
 
     def run(self, workload: str, config: BoomConfig) -> ExperimentResult:
-        """One experiment, via memory/disk cache when available."""
-        cached = self._load_cached(workload, config)
-        if cached is not None:
-            return cached
-        result = run_experiment(workload, config,
-                                scale=self.settings.scale,
-                                settings=self.settings)
-        self._store(workload, config, result)
-        return result
+        """One experiment, via the stage cache when available."""
+        return self.pipeline.result(
+            workload, config,
+            fallback=lambda: self._legacy_result(workload, config))
 
     def run_all(self, configs: tuple[BoomConfig, ...] = ALL_CONFIGS,
                 workloads: list[str] | None = None,
                 jobs: int = 1) -> dict[tuple[str, str], ExperimentResult]:
         """The full study: every workload on every configuration.
 
-        With ``jobs > 1``, uncached experiments run in a process pool.
+        With ``jobs > 1``, uncached work runs in a process pool at stage
+        granularity: one task per workload for the shared stages, then
+        one task per uncached experiment.
         """
+        started = perf_counter()
+        before = self.store.stats_snapshot()
         if workloads is None:
             workloads = workload_names()
         pairs = [(workload, config) for config in configs
                  for workload in workloads]
         results: dict[tuple[str, str], ExperimentResult] = {}
         if jobs > 1:
-            pending: list[tuple[str, BoomConfig, FlowSettings]] = []
+            self._run_parallel(pairs, jobs, results)
+        else:
             for workload, config in pairs:
-                cached = self._load_cached(workload, config)
-                if cached is not None:
-                    results[(workload, config.name)] = cached
-                else:
-                    pending.append((workload, config, self.settings))
-            if pending:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    for (workload, config, _), data in zip(
-                            pending, pool.map(_run_one, pending)):
-                        result = ExperimentResult.from_dict(data)
-                        self._store(workload, config, result)
-                        results[(workload, config.name)] = result
-            return results
-        for workload, config in pairs:
-            results[(workload, config.name)] = self.run(workload, config)
+                results[(workload, config.name)] = self.run(workload, config)
+        manifest = RunManifest.delta(
+            before, self.store.stats_snapshot(),
+            wall_seconds=perf_counter() - started, jobs=jobs,
+            experiments=len(pairs))
+        self.last_manifest = manifest
+        self._write_manifest(manifest)
         return results
+
+    # ------------------------------------------------------------------
+    # parallel scheduling
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, pairs: list[tuple[str, BoomConfig]], jobs: int,
+                      results: dict[tuple[str, str], ExperimentResult]) \
+            -> None:
+        pipeline = self.pipeline
+        pending: list[tuple[str, BoomConfig]] = []
+        for workload, config in pairs:
+            cached = pipeline.peek_result(workload, config)
+            if cached is None:
+                legacy = self._legacy_result(workload, config)
+                if legacy is not None:
+                    self.store.import_legacy(
+                        RESULT_STAGE,
+                        pipeline.result_fingerprint(workload, config),
+                        legacy, encode=lambda result: result.to_dict())
+                    cached = legacy
+            if cached is not None:
+                results[(workload, config.name)] = cached
+            else:
+                pending.append((workload, config))
+        if not pending:
+            return
+
+        root = str(self.cache_dir) if self.cache_dir is not None else None
+        seen: set[str] = set()
+        needed = [workload for workload, _ in pending
+                  if not (workload in seen or seen.add(workload))
+                  and not pipeline.workload_prepared(workload)]
+        inline: dict[str, tuple] = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            if needed:
+                tasks = [(workload, self.settings, root)
+                         for workload in needed]
+                for (workload, _, _), (stats, payload) in zip(
+                        tasks, pool.map(_prepare_worker, tasks)):
+                    self.store.merge_stats(stats)
+                    if payload is not None:
+                        inline[workload] = payload
+                        pipeline.adopt_workload(
+                            workload, selection=payload[0],
+                            checkpoints=payload[1])
+            tasks = [(workload, config, self.settings, root,
+                      inline.get(workload))
+                     for workload, config in pending]
+            for (workload, config, _, _, _), (data, stats) in zip(
+                    tasks, pool.map(_experiment_worker, tasks)):
+                self.store.merge_stats(stats)
+                result = ExperimentResult.from_dict(data)
+                pipeline.adopt_result(workload, config, result)
+                results[(workload, config.name)] = result
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _write_manifest(self, manifest: RunManifest) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        (self.cache_dir / MANIFEST_NAME).write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True))

@@ -1,0 +1,39 @@
+"""Staged experiment pipeline with content-addressed artifact caching."""
+
+from repro.pipeline.artifacts import (
+    ARTIFACT_FORMAT,
+    ArtifactStore,
+    MODEL_VERSION,
+    StageStats,
+)
+from repro.pipeline.manifest import RunManifest
+from repro.pipeline.stages import (
+    CHECKPOINT_STAGE,
+    DETAILED_STAGE,
+    ExperimentPipeline,
+    PAPER_COUNTERPART,
+    POWER_STAGE,
+    PROFILE_STAGE,
+    RESULT_STAGE,
+    SELECTION_STAGE,
+    STAGE_ORDER,
+    WORKLOAD_STAGES,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ArtifactStore",
+    "MODEL_VERSION",
+    "StageStats",
+    "RunManifest",
+    "ExperimentPipeline",
+    "PROFILE_STAGE",
+    "SELECTION_STAGE",
+    "CHECKPOINT_STAGE",
+    "DETAILED_STAGE",
+    "POWER_STAGE",
+    "RESULT_STAGE",
+    "STAGE_ORDER",
+    "WORKLOAD_STAGES",
+    "PAPER_COUNTERPART",
+]

@@ -1,0 +1,375 @@
+"""Content-addressed artifact storage for the staged experiment pipeline.
+
+Every pipeline stage (see :mod:`repro.pipeline.stages`) persists its
+output under a *fingerprint* — a SHA-256 digest of the stage name plus
+its complete parameter set (workload, scale, seed, interval, BIC
+threshold, max_k, coverage, warm-up, configuration, predictor, model
+version).  Identical parameters always map to the same artifact, so
+per-workload stages (BBV profiling, SimPoint selection, checkpoint
+creation) are computed once and shared by every configuration that
+consumes them — the reuse the paper's own flow gets from materializing
+Spike checkpoints on disk.
+
+On-disk layout (one subdirectory per stage)::
+
+    <root>/
+        bbv_profile/<fingerprint>.json
+        simpoint_selection/<fingerprint>.json
+        checkpoints/<fingerprint>/        # a checkpoint-store directory
+            manifest.json
+            <workload>_iv000123.ckpt
+        detailed_sim/<fingerprint>.json
+        power_report/<fingerprint>.json
+        experiment_result/<fingerprint>.json
+        run_manifest.json                 # last sweep's stage accounting
+
+With ``root=None`` the store is memory-only (used by one-shot
+``run_experiment`` calls and tests).  Corrupt artifacts — truncated or
+garbage JSON, bad checkpoint blobs — are counted, discarded, and
+recomputed; they never crash a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Mapping
+
+#: bump when the simulation/power models change to invalidate cached
+#: artifacts (the old whole-experiment sweep cache used the same knob)
+MODEL_VERSION = 11
+
+#: bump when the artifact layout or fingerprint recipe changes
+ARTIFACT_FORMAT = 1
+
+_MISSING = object()
+
+
+@dataclass
+class StageStats:
+    """Cache accounting for one pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+    executions: int = 0
+    corrupt: int = 0
+    legacy_hits: int = 0
+    seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.legacy_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if not lookups:
+            return 1.0
+        return (self.hits + self.legacy_hits) / lookups
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "executions": self.executions, "corrupt": self.corrupt,
+                "legacy_hits": self.legacy_hits, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StageStats":
+        return cls(**dict(data))
+
+    def merge(self, other: "StageStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.executions += other.executions
+        self.corrupt += other.corrupt
+        self.legacy_hits += other.legacy_hits
+        self.seconds += other.seconds
+
+    def minus(self, other: "StageStats") -> "StageStats":
+        return StageStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            executions=self.executions - other.executions,
+            corrupt=self.corrupt - other.corrupt,
+            legacy_hits=self.legacy_hits - other.legacy_hits,
+            seconds=self.seconds - other.seconds)
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON fallback for fingerprint parameters."""
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(
+        f"stage parameter of type {type(value).__name__} is not "
+        f"fingerprintable: {value!r}")
+
+
+class ArtifactStore:
+    """Persists pipeline-stage outputs under content-addressed keys.
+
+    The store is two-layered: live values are memoized in memory (so a
+    sweep touches each artifact object once per process) and, when a
+    ``root`` directory is given, payloads are persisted on disk so later
+    runs — and parallel worker processes — share them.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[tuple[str, str], Any] = {}
+        self._stats: dict[str, StageStats] = defaultdict(StageStats)
+
+    # ------------------------------------------------------------------
+    # fingerprints and paths
+    # ------------------------------------------------------------------
+
+    def fingerprint(self, stage: str, params: Mapping) -> str:
+        """Content address of one stage invocation.
+
+        The digest covers the stage name, the artifact-format version,
+        and the canonical JSON form of the full parameter mapping, so it
+        is stable across processes and interpreter runs (no reliance on
+        ``hash()``) and changes whenever any parameter changes.
+        """
+        canonical = json.dumps(
+            {"format": ARTIFACT_FORMAT, "stage": stage,
+             "params": dict(params)},
+            sort_keys=True, separators=(",", ":"), default=_jsonable)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    def json_path(self, stage: str, fingerprint: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / stage / f"{fingerprint}.json"
+
+    def dir_path(self, stage: str, fingerprint: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / stage / fingerprint
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, StageStats]:
+        return dict(self._stats)
+
+    def stats_snapshot(self) -> dict[str, StageStats]:
+        """Deep copy of the counters (for before/after run deltas)."""
+        return {stage: StageStats(**stats.to_dict())
+                for stage, stats in self._stats.items()}
+
+    def stats_dict(self) -> dict[str, dict]:
+        return {stage: stats.to_dict()
+                for stage, stats in self._stats.items()}
+
+    def merge_stats(self, stats: Mapping[str, Mapping]) -> None:
+        """Fold a worker process's counters into this store's."""
+        for stage, data in stats.items():
+            self._stats[stage].merge(StageStats.from_dict(data))
+
+    # ------------------------------------------------------------------
+    # JSON artifacts
+    # ------------------------------------------------------------------
+
+    def _write_text(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    def remember(self, stage: str, fingerprint: str, value: Any) -> None:
+        """Memoize a live value without touching disk or counters."""
+        self._memory[(stage, fingerprint)] = value
+
+    def put_json(self, stage: str, fingerprint: str, value: Any,
+                 encode: Callable[[Any], Any] | None = None) -> None:
+        """Persist ``value`` (memory + disk) under its fingerprint."""
+        self._memory[(stage, fingerprint)] = value
+        path = self.json_path(stage, fingerprint)
+        if path is not None:
+            payload = encode(value) if encode is not None else value
+            self._write_text(path, json.dumps(payload, sort_keys=True))
+
+    def peek_json(self, stage: str, fingerprint: str,
+                  decode: Callable[[Any], Any] | None = None) -> Any:
+        """Cache-only lookup: a hit counts, an absence counts nothing.
+
+        Used by schedulers that probe for cached results before fanning
+        the real work out to worker processes (which do their own miss
+        accounting).
+        """
+        key = (stage, fingerprint)
+        if key in self._memory:
+            self._stats[stage].hits += 1
+            return self._memory[key]
+        path = self.json_path(stage, fingerprint)
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                value = decode(payload) if decode is not None else payload
+            except Exception:
+                self._stats[stage].corrupt += 1
+                path.unlink(missing_ok=True)
+                return None
+            self._stats[stage].hits += 1
+            self._memory[key] = value
+            return value
+        return None
+
+    def import_legacy(self, stage: str, fingerprint: str, value: Any,
+                      encode: Callable[[Any], Any] | None = None) -> None:
+        """Adopt a result recovered from a pre-pipeline cache layout."""
+        self._stats[stage].legacy_hits += 1
+        self.put_json(stage, fingerprint, value, encode=encode)
+
+    def fetch_json(self, stage: str, fingerprint: str,
+                   compute: Callable[[], Any],
+                   encode: Callable[[Any], Any] | None = None,
+                   decode: Callable[[Any], Any] | None = None,
+                   fallback: Callable[[], Any] | None = None) -> Any:
+        """Load-or-compute one JSON artifact, with full accounting.
+
+        ``fallback`` (optional) is consulted after a cache miss but
+        before recomputation — the hook the sweep runner uses to migrate
+        results from the legacy whole-experiment cache layout.
+        """
+        value = self.peek_json(stage, fingerprint, decode=decode)
+        if value is not None:
+            return value
+        if fallback is not None:
+            value = fallback()
+            if value is not None:
+                self.import_legacy(stage, fingerprint, value, encode=encode)
+                return value
+        self._stats[stage].misses += 1
+        started = perf_counter()
+        value = compute()
+        stats = self._stats[stage]
+        stats.executions += 1
+        stats.seconds += perf_counter() - started
+        self.put_json(stage, fingerprint, value, encode=encode)
+        return value
+
+    # ------------------------------------------------------------------
+    # directory artifacts (the checkpoint store lives here)
+    # ------------------------------------------------------------------
+
+    def has(self, stage: str, fingerprint: str) -> bool:
+        """Presence check without accounting (scheduler planning)."""
+        if (stage, fingerprint) in self._memory:
+            return True
+        json_path = self.json_path(stage, fingerprint)
+        if json_path is not None and json_path.exists():
+            return True
+        dir_path = self.dir_path(stage, fingerprint)
+        return dir_path is not None and dir_path.exists()
+
+    def fetch_dir(self, stage: str, fingerprint: str,
+                  compute: Callable[[], Any],
+                  save: Callable[[Path, Any], Any],
+                  load: Callable[[Path], Any]) -> Any:
+        """Load-or-compute one directory-shaped artifact.
+
+        Used for checkpoint sets, which keep their established
+        checkpoint-store format (``manifest.json`` plus one ``.ckpt``
+        file per SimPoint) inside the artifact store.  A directory that
+        fails to load — truncated blob, garbage manifest — is treated as
+        corrupt: it is deleted and the stage recomputes.
+        """
+        key = (stage, fingerprint)
+        if key in self._memory:
+            self._stats[stage].hits += 1
+            return self._memory[key]
+        path = self.dir_path(stage, fingerprint)
+        if path is not None and path.exists():
+            try:
+                value = load(path)
+            except Exception:
+                self._stats[stage].corrupt += 1
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                self._stats[stage].hits += 1
+                self._memory[key] = value
+                return value
+        self._stats[stage].misses += 1
+        started = perf_counter()
+        value = compute()
+        stats = self._stats[stage]
+        stats.executions += 1
+        stats.seconds += perf_counter() - started
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save(path, value)
+        self._memory[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # maintenance (repro-cli cache)
+    # ------------------------------------------------------------------
+
+    def artifact_counts(self) -> dict[str, tuple[int, int]]:
+        """Per-stage (artifact count, bytes) for what is on disk."""
+        counts: dict[str, tuple[int, int]] = {}
+        if self.root is None or not self.root.exists():
+            return counts
+        for stage_dir in sorted(self.root.iterdir()):
+            if not stage_dir.is_dir():
+                continue
+            number = 0
+            size = 0
+            for entry in stage_dir.iterdir():
+                number += 1
+                if entry.is_dir():
+                    size += sum(f.stat().st_size
+                                for f in entry.rglob("*") if f.is_file())
+                else:
+                    size += entry.stat().st_size
+            counts[stage_dir.name] = (number, size)
+        return counts
+
+    def legacy_files(self) -> list[Path]:
+        """Pre-pipeline whole-experiment JSONs still in the cache root."""
+        if self.root is None or not self.root.exists():
+            return []
+        return sorted(path for path in self.root.glob("v*_*.json")
+                      if path.is_file())
+
+    def invalidate_stage(self, stage: str) -> int:
+        """Drop one stage's artifacts (memory + disk); returns count."""
+        removed = 0
+        for key in [key for key in self._memory if key[0] == stage]:
+            del self._memory[key]
+        if self.root is not None:
+            stage_dir = self.root / stage
+            if stage_dir.exists():
+                removed = sum(1 for _ in stage_dir.iterdir())
+                shutil.rmtree(stage_dir)
+        return removed
+
+    def clear(self) -> int:
+        """Drop every artifact, including legacy-layout files."""
+        removed = 0
+        stages = {key[0] for key in self._memory}
+        if self.root is not None and self.root.exists():
+            stages.update(entry.name for entry in self.root.iterdir()
+                          if entry.is_dir())
+        for stage in stages:
+            removed += self.invalidate_stage(stage)
+        for path in self.legacy_files():
+            path.unlink()
+            removed += 1
+        if self.root is not None:
+            manifest = self.root / "run_manifest.json"
+            if manifest.exists():
+                manifest.unlink()
+        self._memory.clear()
+        return removed

@@ -1,0 +1,116 @@
+"""Run manifests: per-stage execution/cache accounting for one sweep.
+
+A :class:`RunManifest` is the observability artifact the staged pipeline
+produces alongside its results: how many times each stage actually
+executed, how often the artifact cache served it, how much wall-clock
+each stage consumed, and the overall cache hit rate.  ``repro-cli sweep
+--verbose`` prints it, and sweeps with a disk cache persist it as
+``run_manifest.json`` in the cache root.
+
+The manifest is also how the study's headline caching property is
+verified: on a cold cache a full sweep must execute ``bbv_profile``,
+``simpoint_selection`` and ``checkpoints`` exactly once per workload
+(not once per workload x configuration), and a warm re-run must report
+a 100 % hit rate with zero stage executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.pipeline.artifacts import StageStats
+
+
+@dataclass
+class RunManifest:
+    """Stage-level accounting for one scheduler run."""
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+    experiments: int = 0
+
+    @classmethod
+    def delta(cls, before: Mapping[str, StageStats],
+              after: Mapping[str, StageStats],
+              wall_seconds: float = 0.0, jobs: int = 1,
+              experiments: int = 0) -> "RunManifest":
+        """Manifest covering the work done between two stats snapshots."""
+        stages: dict[str, StageStats] = {}
+        for stage, stats in after.items():
+            previous = before.get(stage, StageStats())
+            diff = stats.minus(previous)
+            if diff.lookups or diff.executions or diff.corrupt:
+                stages[stage] = diff
+        return cls(stages=stages, wall_seconds=wall_seconds, jobs=jobs,
+                   experiments=experiments)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    def executions(self, stage: str) -> int:
+        stats = self.stages.get(stage)
+        return stats.executions if stats is not None else 0
+
+    @property
+    def total_hits(self) -> int:
+        return sum(s.hits + s.legacy_hits for s in self.stages.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(s.misses for s in self.stages.values())
+
+    @property
+    def total_executions(self) -> int:
+        return sum(s.executions for s in self.stages.values())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.total_hits + self.total_misses
+        if not lookups:
+            return 1.0
+        return self.total_hits / lookups
+
+    # ------------------------------------------------------------------
+    # serialization / rendering
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "jobs": self.jobs,
+            "experiments": self.experiments,
+            "hit_rate": self.hit_rate,
+            "stages": {stage: stats.to_dict()
+                       for stage, stats in sorted(self.stages.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunManifest":
+        return cls(
+            stages={stage: StageStats.from_dict(stats)
+                    for stage, stats in data.get("stages", {}).items()},
+            wall_seconds=data.get("wall_seconds", 0.0),
+            jobs=data.get("jobs", 1),
+            experiments=data.get("experiments", 0))
+
+    def format(self) -> str:
+        """Fixed-width stage-accounting table."""
+        from repro.pipeline.stages import STAGE_ORDER
+
+        order = {stage: index for index, stage in enumerate(STAGE_ORDER)}
+        lines = [f"{'stage':<20}{'exec':>6}{'hits':>7}{'miss':>6}"
+                 f"{'corrupt':>8}{'legacy':>7}{'seconds':>9}"]
+        for stage in sorted(self.stages,
+                            key=lambda s: (order.get(s, 99), s)):
+            stats = self.stages[stage]
+            lines.append(f"{stage:<20}{stats.executions:>6}"
+                         f"{stats.hits:>7}{stats.misses:>6}"
+                         f"{stats.corrupt:>8}{stats.legacy_hits:>7}"
+                         f"{stats.seconds:>9.2f}")
+        lines.append(f"cache hit rate {self.hit_rate:.1%} over "
+                     f"{self.experiments} experiments "
+                     f"({self.wall_seconds:.2f}s, jobs={self.jobs})")
+        return "\n".join(lines)

@@ -1,0 +1,416 @@
+"""The experiment flow as discrete, content-addressed pipeline stages.
+
+The paper's flow (Figs. 3 and 4) is explicitly staged, and each stage
+maps onto one tool of the original toolchain:
+
+==================  =============================================
+stage               paper counterpart
+==================  =============================================
+bbv_profile         gem5 (functional run + SimPoint BBV probe)
+simpoint_selection  SimPoint 3.0 (projection, k-means, BIC)
+checkpoints         Spike (architectural checkpoint generation)
+detailed_sim        Verilator (detailed BOOM RTL simulation)
+power_report        Cadence Joules (activity -> power conversion)
+experiment_result   the aggregated per-pair study record
+==================  =============================================
+
+The first three stages depend only on the *workload* (plus the flow
+settings), so their artifacts are shared by every configuration and
+predictor that consumes them; only ``detailed_sim`` onward depend on the
+:class:`~repro.uarch.config.BoomConfig`.  :class:`ExperimentPipeline`
+materializes any stage on demand through an
+:class:`~repro.pipeline.artifacts.ArtifactStore`: each stage's
+fingerprint chains the fingerprints of its inputs, so changing any
+upstream parameter (scale, seed, interval, BIC threshold, max_k,
+coverage, warm-up, config, predictor, or the model version) changes
+every downstream address and can never serve a stale artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.checkpoint.creator import create_checkpoints
+from repro.checkpoint.store import load_checkpoints, save_checkpoints
+from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
+
+# NOTE: repro.flow.results is imported lazily inside the functions that
+# need it.  Importing it at module level would execute repro.flow's
+# package __init__, which imports repro.flow.experiment, which imports
+# this module — a cycle whenever repro.pipeline is imported first.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.flow.results import ExperimentResult, SimPointRun
+from repro.power.model import PowerModel
+from repro.profiling.bbv import BBVProfile, BBVProfiler
+from repro.simpoint.simpoints import (
+    SimPoint,
+    SimPointSelection,
+    select_simpoints,
+)
+from repro.uarch.config import BoomConfig
+from repro.uarch.core import BoomCore
+from repro.uarch.stats import CoreStats
+from repro.workloads.suite import build_program, get_workload
+
+PROFILE_STAGE = "bbv_profile"
+SELECTION_STAGE = "simpoint_selection"
+CHECKPOINT_STAGE = "checkpoints"
+DETAILED_STAGE = "detailed_sim"
+POWER_STAGE = "power_report"
+RESULT_STAGE = "experiment_result"
+
+#: dependency order; cache invalidation of a stage cascades rightwards
+STAGE_ORDER = (PROFILE_STAGE, SELECTION_STAGE, CHECKPOINT_STAGE,
+               DETAILED_STAGE, POWER_STAGE, RESULT_STAGE)
+
+#: stages that depend only on (workload, settings) — computed once per
+#: workload and shared across every config x predictor combination
+WORKLOAD_STAGES = (PROFILE_STAGE, SELECTION_STAGE, CHECKPOINT_STAGE)
+
+#: the original toolchain component each stage reproduces
+PAPER_COUNTERPART = {
+    PROFILE_STAGE: "gem5 (BBV probe)",
+    SELECTION_STAGE: "SimPoint 3.0",
+    CHECKPOINT_STAGE: "Spike",
+    DETAILED_STAGE: "Verilator",
+    POWER_STAGE: "Cadence Joules",
+    RESULT_STAGE: "study record",
+}
+
+
+# ----------------------------------------------------------------------
+# artifact (de)serialization
+# ----------------------------------------------------------------------
+
+def profile_to_dict(profile: BBVProfile) -> dict:
+    return {
+        "interval_size": profile.interval_size,
+        "vectors": [{str(block): count for block, count in vector.items()}
+                    for vector in profile.vectors],
+        "interval_lengths": list(profile.interval_lengths),
+        "blocks": [list(block) for block in profile.blocks],
+        "total_instructions": profile.total_instructions,
+        "program_name": profile.program_name,
+    }
+
+
+def profile_from_dict(data: dict) -> BBVProfile:
+    return BBVProfile(
+        interval_size=data["interval_size"],
+        vectors=[{int(block): count for block, count in vector.items()}
+                 for vector in data["vectors"]],
+        interval_lengths=list(data["interval_lengths"]),
+        blocks=[tuple(block) for block in data["blocks"]],
+        total_instructions=data["total_instructions"],
+        program_name=data["program_name"])
+
+
+def selection_to_dict(selection: SimPointSelection) -> dict:
+    return {
+        "points": [asdict(point) for point in selection.points],
+        "chosen_k": selection.chosen_k,
+        "interval_size": selection.interval_size,
+        "num_intervals": selection.num_intervals,
+        "total_instructions": selection.total_instructions,
+        "bic_scores": {str(k): score
+                       for k, score in selection.bic_scores.items()},
+        "labels": None if selection.labels is None
+        else [int(label) for label in selection.labels],
+        "coverage_target": selection.coverage_target,
+    }
+
+
+def selection_from_dict(data: dict) -> SimPointSelection:
+    labels = data.get("labels")
+    return SimPointSelection(
+        points=[SimPoint(**point) for point in data["points"]],
+        chosen_k=data["chosen_k"],
+        interval_size=data["interval_size"],
+        num_intervals=data["num_intervals"],
+        total_instructions=data["total_instructions"],
+        bic_scores={int(k): score
+                    for k, score in data["bic_scores"].items()},
+        labels=None if labels is None else np.asarray(labels),
+        coverage_target=data["coverage_target"])
+
+
+# ----------------------------------------------------------------------
+# stage computations (shared by the cached pipeline and the uncached
+# run_selection path used by the sampling-policy baselines)
+# ----------------------------------------------------------------------
+
+def compute_profile(workload: str, settings) -> BBVProfile:
+    """Stage 1: functional run + per-interval basic-block vectors."""
+    spec = get_workload(workload)
+    program = build_program(workload, scale=settings.scale,
+                            seed=settings.seed)
+    interval = spec.interval_for_scale(settings.scale)
+    return BBVProfiler(interval).profile(program)
+
+
+def compute_selection(profile: BBVProfile, settings) -> SimPointSelection:
+    """Stage 2: SimPoint 3.0 clustering over the BBV matrix."""
+    return select_simpoints(profile, max_k=settings.max_k,
+                            seed=settings.seed,
+                            bic_threshold=settings.bic_threshold,
+                            coverage=settings.coverage)
+
+
+def compute_checkpoints(workload: str, settings,
+                        selection: SimPointSelection) -> list[Checkpoint]:
+    """Stage 3: one functional pass snapshotting every SimPoint start."""
+    program = build_program(workload, scale=settings.scale,
+                            seed=settings.seed)
+    return create_checkpoints(program, selection,
+                              warmup=settings.scaled_warmup())
+
+
+def simulate_raw_runs(config: BoomConfig, program,
+                      checkpoints: list[Checkpoint],
+                      interval_size: int) -> list[dict]:
+    """Stage 4: restore each checkpoint into the detailed core.
+
+    Returns plain-dict records — the "signal trace" artifact — carrying
+    the complete measured :class:`CoreStats` so the power stage can be
+    recomputed (or re-calibrated) without re-running the detailed core.
+    """
+    raw: list[dict] = []
+    for checkpoint in checkpoints:
+        core = BoomCore(config, program, state=checkpoint.restore())
+        if checkpoint.warmup_instructions:
+            core.run(checkpoint.warmup_instructions)
+        stats = core.begin_measurement()
+        window = checkpoint.measure_instructions or interval_size
+        measured = core.run(window)
+        raw.append({
+            "interval_index": checkpoint.interval_index,
+            "weight": checkpoint.weight,
+            "warmup_instructions": checkpoint.warmup_instructions,
+            "measured_instructions": measured,
+            "stats": stats.to_dict(),
+        })
+    return raw
+
+
+def power_runs_from_raw(raw: list[dict], config: BoomConfig,
+                        workload: str) -> list[SimPointRun]:
+    """Stage 5: convert measured activity to per-point power reports."""
+    from repro.flow.results import SimPointRun
+
+    model = PowerModel(config)
+    runs: list[SimPointRun] = []
+    for record in raw:
+        stats = CoreStats.from_dict(record["stats"])
+        report = model.report(stats, workload=workload)
+        runs.append(SimPointRun(
+            interval_index=record["interval_index"],
+            weight=record["weight"],
+            warmup_instructions=record["warmup_instructions"],
+            measured_instructions=record["measured_instructions"],
+            cycles=stats.cycles,
+            ipc=stats.ipc,
+            report=report))
+    return runs
+
+
+def assemble_result(workload: str, config: BoomConfig, settings,
+                    selection: SimPointSelection,
+                    runs: list[SimPointRun]) -> ExperimentResult:
+    """Stage 6: the SimPoint-weighted study record for one pair."""
+    from repro.flow.results import ExperimentResult
+
+    result = ExperimentResult(
+        workload=workload, config_name=config.name, scale=settings.scale,
+        total_instructions=selection.total_instructions,
+        interval_size=selection.interval_size,
+        num_intervals=selection.num_intervals,
+        chosen_k=selection.chosen_k,
+        coverage=selection.coverage_of(selection.top_points()))
+    result.runs = list(runs)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+
+class ExperimentPipeline:
+    """Materializes experiment stages through an artifact store.
+
+    Fingerprints are pure functions of the parameters (no artifact needs
+    to exist to compute them), which lets a warm run short-circuit at the
+    final ``experiment_result`` stage without touching any upstream
+    artifact, and lets schedulers plan work before computing anything.
+    """
+
+    def __init__(self, store: ArtifactStore, settings) -> None:
+        self.store = store
+        self.settings = settings
+
+    # -------------------------- fingerprints --------------------------
+
+    def profile_fingerprint(self, workload: str) -> str:
+        settings = self.settings
+        interval = get_workload(workload).interval_for_scale(settings.scale)
+        return self.store.fingerprint(PROFILE_STAGE, {
+            "workload": workload,
+            "scale": settings.scale,
+            "seed": settings.seed,
+            "interval": interval,
+            "model": MODEL_VERSION,
+        })
+
+    def selection_fingerprint(self, workload: str) -> str:
+        settings = self.settings
+        return self.store.fingerprint(SELECTION_STAGE, {
+            "profile": self.profile_fingerprint(workload),
+            "max_k": settings.max_k,
+            "bic_threshold": settings.bic_threshold,
+            "coverage": settings.coverage,
+            "seed": settings.seed,
+            "model": MODEL_VERSION,
+        })
+
+    def checkpoint_fingerprint(self, workload: str) -> str:
+        return self.store.fingerprint(CHECKPOINT_STAGE, {
+            "selection": self.selection_fingerprint(workload),
+            "warmup": self.settings.scaled_warmup(),
+            "model": MODEL_VERSION,
+        })
+
+    def detailed_fingerprint(self, workload: str,
+                             config: BoomConfig) -> str:
+        return self.store.fingerprint(DETAILED_STAGE, {
+            "checkpoints": self.checkpoint_fingerprint(workload),
+            "config": asdict(config),
+            "model": MODEL_VERSION,
+        })
+
+    def power_fingerprint(self, workload: str, config: BoomConfig) -> str:
+        return self.store.fingerprint(POWER_STAGE, {
+            "detailed": self.detailed_fingerprint(workload, config),
+            "model": MODEL_VERSION,
+        })
+
+    def result_fingerprint(self, workload: str, config: BoomConfig) -> str:
+        return self.store.fingerprint(RESULT_STAGE, {
+            "power": self.power_fingerprint(workload, config),
+            "model": MODEL_VERSION,
+        })
+
+    # ------------------------- materialization ------------------------
+
+    def profile(self, workload: str) -> BBVProfile:
+        return self.store.fetch_json(
+            PROFILE_STAGE, self.profile_fingerprint(workload),
+            compute=lambda: compute_profile(workload, self.settings),
+            encode=profile_to_dict, decode=profile_from_dict)
+
+    def selection(self, workload: str) -> SimPointSelection:
+        return self.store.fetch_json(
+            SELECTION_STAGE, self.selection_fingerprint(workload),
+            compute=lambda: compute_selection(self.profile(workload),
+                                              self.settings),
+            encode=selection_to_dict, decode=selection_from_dict)
+
+    def checkpoints(self, workload: str) -> list[Checkpoint]:
+        return self.store.fetch_dir(
+            CHECKPOINT_STAGE, self.checkpoint_fingerprint(workload),
+            compute=lambda: compute_checkpoints(
+                workload, self.settings, self.selection(workload)),
+            save=save_checkpoints, load=load_checkpoints)
+
+    def detailed(self, workload: str, config: BoomConfig) -> list[dict]:
+        def compute() -> list[dict]:
+            settings = self.settings
+            program = build_program(workload, scale=settings.scale,
+                                    seed=settings.seed)
+            interval = get_workload(workload) \
+                .interval_for_scale(settings.scale)
+            return simulate_raw_runs(config, program,
+                                     self.checkpoints(workload), interval)
+
+        return self.store.fetch_json(
+            DETAILED_STAGE, self.detailed_fingerprint(workload, config),
+            compute=compute)
+
+    def power_runs(self, workload: str,
+                   config: BoomConfig) -> list[SimPointRun]:
+        from repro.flow.results import SimPointRun
+
+        return self.store.fetch_json(
+            POWER_STAGE, self.power_fingerprint(workload, config),
+            compute=lambda: power_runs_from_raw(
+                self.detailed(workload, config), config, workload),
+            encode=lambda runs: [run.to_dict() for run in runs],
+            decode=lambda payload: [
+                SimPointRun.from_dict(run, config.name, workload)
+                for run in payload])
+
+    def result(self, workload: str, config: BoomConfig,
+               fallback: Any = None) -> ExperimentResult:
+        from repro.flow.results import ExperimentResult
+
+        return self.store.fetch_json(
+            RESULT_STAGE, self.result_fingerprint(workload, config),
+            compute=lambda: assemble_result(
+                workload, config, self.settings,
+                self.selection(workload),
+                self.power_runs(workload, config)),
+            encode=lambda result: result.to_dict(),
+            decode=ExperimentResult.from_dict,
+            fallback=fallback)
+
+    # --------------------------- scheduling ---------------------------
+
+    def prepare_workload(self, workload: str) -> None:
+        """Materialize every workload-scoped stage (profiling through
+        checkpoints) — the unit of per-workload parallel fan-out."""
+        self.selection(workload)
+        self.checkpoints(workload)
+
+    def workload_prepared(self, workload: str) -> bool:
+        """Whether the per-workload chain is already cached."""
+        return (self.store.has(SELECTION_STAGE,
+                               self.selection_fingerprint(workload))
+                and self.store.has(CHECKPOINT_STAGE,
+                                   self.checkpoint_fingerprint(workload)))
+
+    def peek_result(self, workload: str,
+                    config: BoomConfig) -> ExperimentResult | None:
+        """Cache-only result lookup (no computation, no miss counted)."""
+        from repro.flow.results import ExperimentResult
+
+        return self.store.peek_json(
+            RESULT_STAGE, self.result_fingerprint(workload, config),
+            decode=ExperimentResult.from_dict)
+
+    def adopt_workload(self, workload: str,
+                       profile: BBVProfile | None = None,
+                       selection: SimPointSelection | None = None,
+                       checkpoints: list[Checkpoint] | None = None) -> None:
+        """Seed the store with artifacts computed by another process."""
+        if profile is not None:
+            self.store.remember(PROFILE_STAGE,
+                                self.profile_fingerprint(workload), profile)
+        if selection is not None:
+            self.store.remember(SELECTION_STAGE,
+                                self.selection_fingerprint(workload),
+                                selection)
+        if checkpoints is not None:
+            self.store.remember(CHECKPOINT_STAGE,
+                                self.checkpoint_fingerprint(workload),
+                                checkpoints)
+
+    def adopt_result(self, workload: str, config: BoomConfig,
+                     result: ExperimentResult) -> None:
+        """Memoize a result computed (and persisted) by a worker."""
+        self.store.remember(RESULT_STAGE,
+                            self.result_fingerprint(workload, config),
+                            result)

@@ -13,7 +13,7 @@ excluded — matching the paper's methodology.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -156,3 +156,33 @@ class CoreStats:
     def issue_queue(self, name: str) -> IssueQueueStats:
         return {"int": self.int_iq, "mem": self.mem_iq,
                 "fp": self.fp_iq}[name]
+
+    # ------------------------------------------------------------------
+    # serialization: the "signal trace" artifact of the staged pipeline
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe) of the complete counter tree."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreStats":
+        """Rebuild a stats tree serialized by :meth:`to_dict`."""
+        return cls(
+            cycles=data["cycles"],
+            retired=data["retired"],
+            retired_by_class=dict(data["retired_by_class"]),
+            frontend=FrontendStats(**data["frontend"]),
+            predictor=PredictorStats(**data["predictor"]),
+            int_rename=RenameStats(**data["int_rename"]),
+            fp_rename=RenameStats(**data["fp_rename"]),
+            rob=RobStats(**data["rob"]),
+            int_iq=IssueQueueStats(**data["int_iq"]),
+            mem_iq=IssueQueueStats(**data["mem_iq"]),
+            fp_iq=IssueQueueStats(**data["fp_iq"]),
+            int_regfile=RegfileStats(**data["int_regfile"]),
+            fp_regfile=RegfileStats(**data["fp_regfile"]),
+            lsu=LsuStats(**data["lsu"]),
+            icache=CacheStats(**data["icache"]),
+            dcache=CacheStats(**data["dcache"]),
+            execute=ExecuteStats(**data["execute"]))

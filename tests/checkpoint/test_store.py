@@ -83,3 +83,26 @@ def test_describe_store(tmp_path, qsort_checkpoints):
     assert "checkpoints" in text
     assert ".ckpt" in text
     assert describe_store(tmp_path / "nowhere").endswith("(no manifest)")
+
+
+def test_garbage_manifest_raises_checkpoint_error(tmp_path):
+    (tmp_path / "manifest.json").write_text("{ not json")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        load_checkpoints(tmp_path)
+    (tmp_path / "manifest.json").write_text("[1, 2, 3]")
+    with pytest.raises(CheckpointError, match="not a mapping"):
+        load_checkpoints(tmp_path)
+
+
+def test_truncated_blob_raises_checkpoint_error(tmp_path,
+                                                qsort_checkpoints):
+    _, checkpoints = qsort_checkpoints
+    paths = save_checkpoints(tmp_path, checkpoints)
+    blob = paths[0].read_bytes()
+    paths[0].write_bytes(blob[:10])
+    with pytest.raises(CheckpointError, match="blob"):
+        load_checkpoints(tmp_path)
+    # garbage payload (valid length, corrupt body) is wrapped too
+    paths[0].write_bytes(blob[: len(blob) // 2] + b"\xff" * 16)
+    with pytest.raises(CheckpointError):
+        load_checkpoints(tmp_path)

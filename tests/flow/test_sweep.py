@@ -1,4 +1,4 @@
-"""Tests for the sweep runner and its cache."""
+"""Tests for the sweep runner and its stage-granular artifact cache."""
 
 import json
 
@@ -6,9 +6,17 @@ import pytest
 
 from repro.flow.experiment import FlowSettings
 from repro.flow.sweep import MODEL_VERSION, SweepRunner
+from repro.pipeline.stages import RESULT_STAGE
 from repro.uarch.config import MEDIUM_BOOM, MEGA_BOOM
 
 SETTINGS = FlowSettings(scale=0.1)
+
+
+def _result_files(tmp_path):
+    stage_dir = tmp_path / RESULT_STAGE
+    if not stage_dir.exists():
+        return []
+    return sorted(stage_dir.glob("*.json"))
 
 
 def test_memory_cache_returns_same_object(tmp_path):
@@ -21,30 +29,67 @@ def test_memory_cache_returns_same_object(tmp_path):
 def test_disk_cache_roundtrip(tmp_path):
     runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
     original = runner.run("qsort", MEDIUM_BOOM)
-    files = list(tmp_path.glob("*.json"))
-    assert len(files) == 1
-    assert f"v{MODEL_VERSION}" in files[0].name
+    assert len(_result_files(tmp_path)) == 1
 
     fresh = SweepRunner(SETTINGS, cache_dir=tmp_path)
     loaded = fresh.run("qsort", MEDIUM_BOOM)
     assert loaded.ipc == pytest.approx(original.ipc)
     assert loaded.tile_mw == pytest.approx(original.tile_mw)
+    # served from the result artifact: no stage re-executed anything
+    assert all(stats.executions == 0
+               for stats in fresh.store.stats().values())
 
 
 def test_cache_key_distinguishes_configs(tmp_path):
     runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
     runner.run("qsort", MEDIUM_BOOM)
     runner.run("qsort", MEGA_BOOM)
-    assert len(list(tmp_path.glob("*.json"))) == 2
+    assert len(_result_files(tmp_path)) == 2
 
 
 def test_cache_key_distinguishes_predictors(tmp_path):
     runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
     runner.run("qsort", MEDIUM_BOOM)
     runner.run("qsort", MEDIUM_BOOM.with_predictor("gshare"))
-    names = [p.name for p in tmp_path.glob("*.json")]
-    assert len(names) == 2
-    assert any("gshare" in name for name in names)
+    assert len(_result_files(tmp_path)) == 2
+
+
+@pytest.mark.parametrize("changed", [
+    {"bic_threshold": 0.7},
+    {"max_k": 4},
+    {"coverage": 0.5},
+])
+def test_changed_selection_settings_miss_the_cache(tmp_path, changed):
+    """Regression: the legacy cache key omitted ``bic_threshold``,
+    ``max_k`` and ``coverage``, silently serving stale results when any
+    of them changed.  Every stage fingerprint now covers them."""
+    warm = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    warm.run("qsort", MEDIUM_BOOM)
+
+    tweaked = FlowSettings(scale=SETTINGS.scale, **changed)
+    fresh = SweepRunner(tweaked, cache_dir=tmp_path)
+    fresh.run("qsort", MEDIUM_BOOM)
+    result_stats = fresh.store.stats()[RESULT_STAGE]
+    assert result_stats.misses == 1
+    assert result_stats.executions == 1
+    assert len(_result_files(tmp_path)) == 2
+
+
+def test_stale_legacy_layout_not_trusted(tmp_path):
+    """A legacy flat-layout file must not satisfy a run whose selection
+    settings differ from the defaults it was produced under."""
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    key = runner._legacy_key("qsort", MEDIUM_BOOM)
+    (tmp_path / f"{key}.json").write_text(json.dumps({
+        "workload": "qsort", "config_name": "MediumBOOM",
+        "scale": SETTINGS.scale, "total_instructions": 1,
+        "interval_size": 1, "num_intervals": 1, "chosen_k": 1,
+        "coverage": 1.0, "runs": []}))
+    tweaked = FlowSettings(scale=SETTINGS.scale, bic_threshold=0.7)
+    fresh = SweepRunner(tweaked, cache_dir=tmp_path)
+    result = fresh.run("qsort", MEDIUM_BOOM)
+    assert result.runs  # recomputed, not the empty stale record
+    assert fresh.store.stats()[RESULT_STAGE].legacy_hits == 0
 
 
 def test_no_cache_dir(tmp_path):
@@ -60,19 +105,43 @@ def test_run_all_subset(tmp_path):
     assert set(results) == {("qsort", "MediumBOOM"), ("sha", "MediumBOOM")}
 
 
-def test_parallel_run_all_matches_serial(tmp_path):
+def test_shared_stages_run_once_per_workload(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run_all(configs=(MEDIUM_BOOM, MEGA_BOOM),
+                   workloads=["qsort", "sha"])
+    manifest = runner.last_manifest
+    assert manifest.executions("bbv_profile") == 2
+    assert manifest.executions("simpoint_selection") == 2
+    assert manifest.executions("checkpoints") == 2
+    assert manifest.executions("detailed_sim") == 4
+
+
+def test_parallel_run_all_is_bit_identical_to_serial(tmp_path):
+    """The satellite determinism guarantee: ``jobs=2`` must produce
+    byte-identical canonical JSON to the serial run, on a 2-workload x
+    2-config sweep."""
     serial = SweepRunner(SETTINGS, cache_dir=None)
-    expected = serial.run_all(configs=(MEDIUM_BOOM,),
+    expected = serial.run_all(configs=(MEDIUM_BOOM, MEGA_BOOM),
                               workloads=["qsort", "sha"])
     parallel = SweepRunner(SETTINGS, cache_dir=tmp_path)
-    actual = parallel.run_all(configs=(MEDIUM_BOOM,),
+    actual = parallel.run_all(configs=(MEDIUM_BOOM, MEGA_BOOM),
                               workloads=["qsort", "sha"], jobs=2)
     assert set(actual) == set(expected)
     for key in expected:
-        assert actual[key].ipc == pytest.approx(expected[key].ipc)
-        assert actual[key].tile_mw == pytest.approx(expected[key].tile_mw)
+        assert actual[key].to_json() == expected[key].to_json()
     # the parallel path populated the disk cache too
-    assert len(list(tmp_path.glob("*.json"))) == 2
+    assert len(_result_files(tmp_path)) == 4
+
+
+def test_parallel_without_disk_matches_serial():
+    serial = SweepRunner(SETTINGS, cache_dir=None)
+    expected = serial.run_all(configs=(MEDIUM_BOOM,),
+                              workloads=["qsort", "sha"])
+    parallel = SweepRunner(SETTINGS, cache_dir=None)
+    actual = parallel.run_all(configs=(MEDIUM_BOOM,),
+                              workloads=["qsort", "sha"], jobs=2)
+    for key in expected:
+        assert actual[key].to_json() == expected[key].to_json()
 
 
 def test_parallel_uses_cache(tmp_path):
@@ -81,12 +150,41 @@ def test_parallel_uses_cache(tmp_path):
     results = runner.run_all(configs=(MEDIUM_BOOM,),
                              workloads=["qsort"], jobs=2)
     assert ("qsort", "MediumBOOM") in results
+    assert runner.last_manifest.total_executions == 0
+
+
+def test_run_all_writes_manifest(tmp_path):
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    runner.run_all(configs=(MEDIUM_BOOM,), workloads=["qsort"])
+    manifest = json.loads((tmp_path / "run_manifest.json").read_text())
+    assert manifest["experiments"] == 1
+    assert manifest["stages"][RESULT_STAGE]["executions"] == 1
+
+
+def test_legacy_flat_layout_is_migrated(tmp_path):
+    producer = SweepRunner(SETTINGS, cache_dir=None)
+    result = producer.run("qsort", MEDIUM_BOOM)
+    consumer = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    key = consumer._legacy_key("qsort", MEDIUM_BOOM)
+    (tmp_path / f"{key}.json").write_text(json.dumps(result.to_dict()))
+
+    migrated = consumer.run("qsort", MEDIUM_BOOM)
+    assert migrated.to_json() == result.to_json()
+    stats = consumer.store.stats()[RESULT_STAGE]
+    assert stats.legacy_hits == 1
+    assert stats.executions == 0
+    # the result now also lives at its content address
+    assert len(_result_files(tmp_path)) == 1
 
 
 def test_cached_json_is_valid(tmp_path):
     runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
     runner.run("qsort", MEDIUM_BOOM)
-    path = next(tmp_path.glob("*.json"))
+    path = _result_files(tmp_path)[0]
     data = json.loads(path.read_text())
     assert data["workload"] == "qsort"
     assert data["runs"]
+
+
+def test_model_version_still_exported():
+    assert isinstance(MODEL_VERSION, int)

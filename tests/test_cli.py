@@ -17,8 +17,9 @@ def test_table1(capsys):
     assert "Decode width" in out
 
 
-def test_table2_small_scale(capsys):
-    code, out = run_cli(capsys, "--scale", "0.05", "table2")
+def test_table2_small_scale(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "table2")
     assert code == 0
     assert "sha" in out
     assert "tarfind" in out
@@ -60,6 +61,54 @@ def test_sweep_summary(capsys, tmp_path):
                         "--cache-dir", str(tmp_path), "sweep")
     assert code == 0
     assert "perf-per-watt" in out
+
+
+def test_sweep_verbose_prints_manifest(capsys, tmp_path):
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path), "sweep", "--verbose")
+    assert code == 0
+    assert "perf-per-watt" in out
+    assert "bbv_profile" in out
+    assert "cache hit rate" in out
+
+
+def test_cache_stats_and_clear(capsys, tmp_path):
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "cache", "stats")
+    assert code == 0
+    assert "empty" in out
+
+    run_cli(capsys, "--scale", "0.05", "--cache-dir", str(tmp_path),
+            "run", "qsort", "MediumBOOM")
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "cache", "stats")
+    assert code == 0
+    assert "experiment_result" in out
+
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "cache", "clear")
+    assert code == 0
+    assert "removed" in out
+    assert not (tmp_path / "experiment_result").exists()
+
+
+def test_cache_invalidate_cascades_downstream(capsys, tmp_path):
+    run_cli(capsys, "--scale", "0.05", "--cache-dir", str(tmp_path),
+            "run", "qsort", "MediumBOOM")
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "cache", "invalidate", "--stage", "detailed_sim")
+    assert code == 0
+    assert not (tmp_path / "detailed_sim").exists()
+    assert not (tmp_path / "experiment_result").exists()
+    assert (tmp_path / "bbv_profile").exists()
+
+
+def test_cache_invalidate_rejects_unknown_stage(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path),
+                 "cache", "invalidate", "--stage", "nonsense"])
+    assert code == 2
+    code = main(["--cache-dir", str(tmp_path), "cache", "invalidate"])
+    assert code == 2
 
 
 def test_checkpoints_command(capsys, tmp_path):
