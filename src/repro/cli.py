@@ -40,7 +40,16 @@ from repro.workloads.suite import workload_names
 
 
 def _runner(args: argparse.Namespace) -> SweepRunner:
-    settings = FlowSettings(scale=args.scale, seed=args.seed)
+    from repro.pipeline.faults import FaultInjector
+
+    # fault injection: the CLI flag wins; otherwise REPRO_FAULTS /
+    # REPRO_FAULT_SEED let CI inject faults without changing commands
+    env_faults, env_seed = FaultInjector.env_spec()
+    faults = getattr(args, "faults", None) or env_faults
+    fault_seed = getattr(args, "fault_seed", None)
+    settings = FlowSettings(
+        scale=args.scale, seed=args.seed, faults=faults,
+        fault_seed=env_seed if fault_seed is None else fault_seed)
     cache = None if args.no_cache else args.cache_dir
     return SweepRunner(settings, cache_dir=cache)
 
@@ -126,12 +135,32 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.flow.scheduler import RetryPolicy
+
     runner = _runner(args)
-    results = runner.run_all(jobs=args.jobs)
+    policy = RetryPolicy(max_attempts=args.retries + 1) \
+        if args.retries is not None else None
+    results = runner.run_all(
+        jobs=args.jobs, policy=policy, timeout=args.timeout,
+        fail_fast=args.fail_fast, resume=args.resume)
+    if args.resume and runner.resumed_completed:
+        print(f"resumed: {runner.resumed_completed} experiments already "
+              f"complete from the interrupted run")
     print(summarize(results).format())
-    if args.verbose and runner.last_manifest is not None:
+    manifest = runner.last_manifest
+    if args.verbose and manifest is not None:
         print()
-        print(runner.last_manifest.format())
+        print(manifest.format())
+    if manifest is not None and not manifest.ok:
+        fault_table = manifest.format_faults()
+        if fault_table and not args.verbose:
+            print()
+            print(fault_table)
+        print(f"\nsweep degraded: {len(results)} of "
+              f"{manifest.experiments} experiments completed "
+              f"({len(manifest.failures)} failed, "
+              f"{len(manifest.timeouts)} timed out)", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -324,7 +353,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print the per-stage run manifest (executions, cache "
-             "hits/misses, timings)")
+             "hits/misses, timings, failures/retries)")
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="pick an interrupted sweep back up: completed experiments "
+             "come from the cache, permanent failures are not re-run")
+    sweep_parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first permanent failure instead of "
+             "completing the remaining experiments")
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget (jobs > 1); hung tasks are "
+             "abandoned and recorded in the manifest")
+    sweep_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max retries per task for transient failures (default 2)")
+    sweep_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. 'worker.experiment:crash:n=1' "
+             "(testing; also via REPRO_FAULTS)")
+    sweep_parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault-injection probability draws")
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     cache_parser = commands.add_parser(

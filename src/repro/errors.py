@@ -1,11 +1,35 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and failure taxonomy for the repro package.
 
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type at a flow boundary.  Sub-hierarchies mirror the
 package layout (ISA, simulation, SimPoint, power, flow).
+
+The sweep's supervised scheduler additionally needs to know whether a
+failed task is worth *retrying*.  :func:`classify_failure` partitions
+exceptions into two kinds:
+
+``transient``
+    Environmental failures that a retry can plausibly fix: a crashed or
+    OOM-killed worker process (``BrokenProcessPool``), I/O errors while
+    reading or writing artifacts, and corrupt cached artifacts (which
+    recompute on the next attempt).  Derive from :class:`TransientError`
+    to opt an exception into this class.
+
+``permanent``
+    Deterministic model errors — a :class:`SimulationError`, a
+    :class:`ConfigError`, an assertion in the power model.  Re-running
+    the same seeded, deterministic computation reproduces them exactly,
+    so the scheduler records them and moves on instead of burning
+    retries.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+#: the two failure kinds :func:`classify_failure` distinguishes
+TRANSIENT = "transient"
+PERMANENT = "permanent"
 
 
 class ReproError(Exception):
@@ -60,3 +84,51 @@ class PowerModelError(ReproError):
 
 class FlowError(ReproError):
     """End-to-end experiment pipeline misuse (missing stage outputs, etc.)."""
+
+
+class TransientError(ReproError):
+    """Environmental failure a retry can plausibly fix (I/O, lost worker).
+
+    Deriving from this class opts an exception into the scheduler's
+    retry-with-backoff path; everything else raised by the model is
+    treated as deterministic and permanent.
+    """
+
+
+class CorruptArtifactError(TransientError):
+    """A cached artifact failed to decode; recomputing replaces it."""
+
+
+class SchedulerError(ReproError):
+    """Supervised sweep scheduler misuse or unrecoverable breakdown."""
+
+
+class TaskTimeoutError(SchedulerError):
+    """A scheduled task exceeded its per-task wall-clock budget."""
+
+    def __init__(self, key: str, timeout: float) -> None:
+        self.key = key
+        self.timeout = timeout
+        super().__init__(f"task {key!r} exceeded {timeout:g}s timeout")
+
+
+class SweepAborted(SchedulerError):
+    """The sweep stopped early (``--fail-fast`` after a permanent failure)."""
+
+
+#: exception types retried by the supervised scheduler.  ``OSError``
+#: covers the whole I/O family (disk, pipes, timeouts — ``TimeoutError``
+#: is an ``OSError`` subclass); ``BrokenExecutor`` covers crashed /
+#: OOM-killed process-pool workers; ``EOFError`` covers torn pickle
+#: streams from a dying worker.
+_TRANSIENT_TYPES = (TransientError, BrokenExecutor, OSError, EOFError,
+                    ConnectionError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Partition a task failure into ``transient`` vs ``permanent``.
+
+    Transient failures are worth retrying with backoff; permanent ones
+    are deterministic model errors that would recur on every attempt.
+    """
+    return TRANSIENT if isinstance(exc, _TRANSIENT_TYPES) else PERMANENT

@@ -14,6 +14,12 @@ from repro.flow.experiment import (
     run_selection,
 )
 from repro.flow.results import ExperimentResult, SimPointRun
+from repro.flow.scheduler import (
+    RetryPolicy,
+    ScheduleOutcome,
+    SupervisedScheduler,
+    Task,
+)
 from repro.flow.speedup import speedup_report, SpeedupReport, SpeedupRow
 from repro.flow.sweep import DEFAULT_CACHE_DIR, MODEL_VERSION, SweepRunner
 from repro.pipeline import ArtifactStore, ExperimentPipeline, RunManifest
@@ -27,6 +33,10 @@ __all__ = [
     "run_selection",
     "ExperimentResult",
     "SimPointRun",
+    "RetryPolicy",
+    "ScheduleOutcome",
+    "SupervisedScheduler",
+    "Task",
     "speedup_report",
     "SpeedupReport",
     "SpeedupRow",

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from repro.checkpoint.creator import DEFAULT_WARMUP
 from repro.flow.results import ExperimentResult
 from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.faults import FaultInjector
 from repro.pipeline.stages import (
     ExperimentPipeline,
     assemble_result,
@@ -57,9 +58,14 @@ DEFAULT_SEED = 17
 class FlowSettings:
     """Knobs of the experimental flow, fixed across the whole study.
 
-    Every field participates in the pipeline's stage fingerprints, so
-    changing any of them — including ``bic_threshold``, ``max_k`` and
-    ``coverage`` — invalidates the affected cached artifacts.
+    Every *model* field participates in the pipeline's stage
+    fingerprints, so changing any of them — including
+    ``bic_threshold``, ``max_k`` and ``coverage`` — invalidates the
+    affected cached artifacts.  The two fault-injection fields
+    (``faults``, ``fault_seed``) configure the test harness of
+    :mod:`repro.pipeline.faults`; they alter *how* a run executes
+    (crashes, retries, corruption) but never what it computes, so they
+    are deliberately excluded from every fingerprint.
     """
 
     scale: float = 1.0
@@ -68,6 +74,10 @@ class FlowSettings:
     bic_threshold: float = DEFAULT_BIC_THRESHOLD
     max_k: int = DEFAULT_MAX_K
     coverage: float = 0.9
+    #: fault-injection spec string (see repro.pipeline.faults); also
+    #: settable via the REPRO_FAULTS environment variable
+    faults: str | None = None
+    fault_seed: int = 0
 
     def scaled_warmup(self) -> int:
         return max(200, int(self.warmup * self.scale))
@@ -76,7 +86,8 @@ class FlowSettings:
 def _pipeline(settings: FlowSettings,
               store: ArtifactStore | None) -> ExperimentPipeline:
     if store is None:
-        store = ArtifactStore(None)
+        store = ArtifactStore(None, faults=FaultInjector.from_settings(
+            settings, None))
     return ExperimentPipeline(store, settings)
 
 

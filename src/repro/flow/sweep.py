@@ -14,10 +14,21 @@ across processes in two waves — first the per-workload stages, then the
 per-experiment detailed-simulation stages.  Every stage is fully seeded,
 so the parallel path is bit-identical to the serial one.
 
+Execution is *supervised* (:mod:`repro.flow.scheduler`): a crashed or
+OOM-killed worker re-spawns the pool and re-enqueues only the lost
+tasks, transient faults (I/O errors, corrupt artifacts) retry with
+capped exponential backoff, hung tasks are abandoned after a per-task
+timeout, and deterministic model failures are recorded in the manifest
+while the rest of the sweep completes.  Results persist incrementally,
+so a killed sweep resumes from its last completed experiment
+(``repro-cli sweep --resume``); sweep progress is tracked in
+``<cache>/sweep_state.json``.
+
 Each ``run_all`` produces a :class:`~repro.pipeline.manifest.RunManifest`
 (``SweepRunner.last_manifest``) with per-stage execution counts, cache
-hits/misses and wall-clock timings; with a disk cache it is also written
-to ``<cache>/run_manifest.json``.
+hits/misses, wall-clock timings, and the fault record (failures,
+timeouts, retries); with a disk cache it is also written to
+``<cache>/run_manifest.json``.
 
 Results cached by the pre-pipeline layout (flat ``v11_*.json`` files in
 the cache root, e.g. the committed ``.repro_cache``) are migrated into
@@ -28,33 +39,56 @@ keep working without recomputation.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
+import logging
 from pathlib import Path
-from time import perf_counter
+from time import perf_counter, sleep as _sleep
 
+from repro.errors import PERMANENT, TRANSIENT, classify_failure
 from repro.flow.experiment import FlowSettings
 from repro.flow.results import ExperimentResult
-from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
-from repro.pipeline.manifest import RunManifest
+from repro.flow.scheduler import (
+    RetryPolicy,
+    ScheduleOutcome,
+    SupervisedScheduler,
+    Task,
+)
+from repro.pipeline.artifacts import (
+    ArtifactStore,
+    MODEL_VERSION,
+    atomic_write_text,
+)
+from repro.pipeline.faults import FaultInjector
+from repro.pipeline.manifest import RunManifest, TaskRecord
 from repro.pipeline.stages import ExperimentPipeline, RESULT_STAGE
 from repro.uarch.config import ALL_CONFIGS, BoomConfig
 from repro.workloads.suite import workload_names
 
-__all__ = ["DEFAULT_CACHE_DIR", "MODEL_VERSION", "SweepRunner"]
+__all__ = ["DEFAULT_CACHE_DIR", "MODEL_VERSION", "SweepRunner",
+           "MANIFEST_NAME", "SWEEP_STATE_NAME"]
+
+logger = logging.getLogger("repro.flow.sweep")
 
 DEFAULT_CACHE_DIR = Path(".repro_cache")
 
 MANIFEST_NAME = "run_manifest.json"
+SWEEP_STATE_NAME = "sweep_state.json"
 
 #: settings the legacy cache-key scheme did NOT encode; legacy artifacts
 #: are only trusted when these match the values the flow shipped with
 _LEGACY_SETTINGS = FlowSettings()
 
 
+def _pair_key(workload: str, config: BoomConfig) -> str:
+    return f"{workload}/{config.name}"
+
+
 def _prepare_worker(task: tuple) -> tuple:
     """Process-pool worker: materialize one workload's shared stages."""
     workload, settings, root = task
-    store = ArtifactStore(root)
+    faults = FaultInjector.from_settings(settings, root)
+    if faults is not None:
+        faults.inject("worker.prepare", workload)
+    store = ArtifactStore(root, faults=faults)
     pipeline = ExperimentPipeline(store, settings)
     pipeline.prepare_workload(workload)
     inline = None
@@ -68,7 +102,10 @@ def _prepare_worker(task: tuple) -> tuple:
 def _experiment_worker(task: tuple) -> tuple:
     """Process-pool worker: one experiment's detailed stages."""
     workload, config, settings, root, inline = task
-    store = ArtifactStore(root)
+    faults = FaultInjector.from_settings(settings, root)
+    if faults is not None:
+        faults.inject("worker.experiment", _pair_key(workload, config))
+    store = ArtifactStore(root, faults=faults)
     pipeline = ExperimentPipeline(store, settings)
     if inline is not None:
         selection, checkpoints = inline
@@ -85,9 +122,13 @@ class SweepRunner:
                  cache_dir: Path | str | None = DEFAULT_CACHE_DIR) -> None:
         self.settings = settings if settings is not None else FlowSettings()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.store = ArtifactStore(self.cache_dir)
+        self.store = ArtifactStore(
+            self.cache_dir,
+            faults=FaultInjector.from_settings(self.settings,
+                                               self.cache_dir))
         self.pipeline = ExperimentPipeline(self.store, self.settings)
         self.last_manifest: RunManifest | None = None
+        self.resumed_completed = 0
 
     # ------------------------------------------------------------------
     # legacy whole-experiment cache migration
@@ -140,40 +181,120 @@ class SweepRunner:
 
     def run_all(self, configs: tuple[BoomConfig, ...] = ALL_CONFIGS,
                 workloads: list[str] | None = None,
-                jobs: int = 1) -> dict[tuple[str, str], ExperimentResult]:
+                jobs: int = 1, *,
+                policy: RetryPolicy | None = None,
+                timeout: float | None = None,
+                fail_fast: bool = False,
+                resume: bool = False) \
+            -> dict[tuple[str, str], ExperimentResult]:
         """The full study: every workload on every configuration.
 
         With ``jobs > 1``, uncached work runs in a process pool at stage
         granularity: one task per workload for the shared stages, then
-        one task per uncached experiment.
+        one task per uncached experiment.  Execution is supervised —
+        worker crashes respawn the pool and re-enqueue only the lost
+        tasks, transient faults retry with backoff (``policy``), tasks
+        hung past ``timeout`` seconds are abandoned, and permanent model
+        failures are recorded in the run manifest while the remaining
+        experiments complete (unless ``fail_fast``).
+
+        ``resume=True`` picks an interrupted sweep back up: completed
+        experiments are served from the incrementally-persisted artifact
+        store, and experiments that already failed *permanently* are
+        carried forward instead of being recomputed (transient and
+        fail-fast-skipped ones are re-attempted).
         """
         started = perf_counter()
         before = self.store.stats_snapshot()
+        policy = policy if policy is not None else RetryPolicy()
         if workloads is None:
             workloads = workload_names()
         pairs = [(workload, config) for config in configs
                  for workload in workloads]
+        sweep_id = self._sweep_id(pairs)
+        outcome = ScheduleOutcome()
+        self.resumed_completed = 0
+        pending_pairs = self._apply_resume(pairs, sweep_id, resume, outcome)
+        self._state = {
+            "sweep_id": sweep_id,
+            "total": len(pairs),
+            "completed": [],
+            "failures": [record.to_dict() for record in outcome.failures],
+            "status": "running",
+        }
+        self._write_state()
         results: dict[tuple[str, str], ExperimentResult] = {}
         if jobs > 1:
-            self._run_parallel(pairs, jobs, results)
+            self._run_parallel(pending_pairs, jobs, results, outcome,
+                               policy=policy, timeout=timeout,
+                               fail_fast=fail_fast)
         else:
-            for workload, config in pairs:
-                results[(workload, config.name)] = self.run(workload, config)
+            self._run_serial(pending_pairs, results, outcome,
+                             policy=policy, fail_fast=fail_fast)
         manifest = RunManifest.delta(
             before, self.store.stats_snapshot(),
             wall_seconds=perf_counter() - started, jobs=jobs,
-            experiments=len(pairs))
+            experiments=len(pairs), failures=outcome.failures,
+            timeouts=outcome.timeouts, retries=outcome.retries)
         self.last_manifest = manifest
+        self._state["failures"] = [record.to_dict()
+                                   for record in outcome.failures]
+        self._state["status"] = "aborted" if outcome.aborted else "complete"
+        self._write_state()
         self._write_manifest(manifest)
         return results
 
     # ------------------------------------------------------------------
-    # parallel scheduling
+    # serial supervised execution
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, pairs: list[tuple[str, BoomConfig]],
+                    results: dict[tuple[str, str], ExperimentResult],
+                    outcome: ScheduleOutcome, *, policy: RetryPolicy,
+                    fail_fast: bool) -> None:
+        for index, (workload, config) in enumerate(pairs):
+            key = _pair_key(workload, config)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self.run(workload, config)
+                except Exception as exc:
+                    kind = classify_failure(exc)
+                    error = f"{type(exc).__name__}: {exc}"
+                    if kind == TRANSIENT and attempts < policy.max_attempts:
+                        outcome.retries[key] = \
+                            outcome.retries.get(key, 0) + 1
+                        logger.warning("experiment %s attempt %d failed "
+                                       "(%s); retrying", key, attempts,
+                                       error)
+                        _sleep(policy.backoff(attempts))
+                        continue
+                    outcome.failures.append(TaskRecord(
+                        key=key, kind=kind, error=error, attempts=attempts))
+                    if fail_fast:
+                        outcome.aborted = True
+                        for later_workload, later_config in pairs[index + 1:]:
+                            outcome.failures.append(TaskRecord(
+                                key=_pair_key(later_workload, later_config),
+                                kind="skipped",
+                                error=f"skipped: fail-fast abort after "
+                                      f"{key!r} failed", attempts=0))
+                        return
+                    break
+                else:
+                    results[(workload, config.name)] = result
+                    self._record_completion(key)
+                    break
+
+    # ------------------------------------------------------------------
+    # parallel supervised scheduling
     # ------------------------------------------------------------------
 
     def _run_parallel(self, pairs: list[tuple[str, BoomConfig]], jobs: int,
-                      results: dict[tuple[str, str], ExperimentResult]) \
-            -> None:
+                      results: dict[tuple[str, str], ExperimentResult],
+                      outcome: ScheduleOutcome, *, policy: RetryPolicy,
+                      timeout: float | None, fail_fast: bool) -> None:
         pipeline = self.pipeline
         pending: list[tuple[str, BoomConfig]] = []
         for workload, config in pairs:
@@ -188,6 +309,7 @@ class SweepRunner:
                     cached = legacy
             if cached is not None:
                 results[(workload, config.name)] = cached
+                self._record_completion(_pair_key(workload, config))
             else:
                 pending.append((workload, config))
         if not pending:
@@ -195,31 +317,177 @@ class SweepRunner:
 
         root = str(self.cache_dir) if self.cache_dir is not None else None
         seen: set[str] = set()
-        needed = [workload for workload, _ in pending
-                  if not (workload in seen or seen.add(workload))
-                  and not pipeline.workload_prepared(workload)]
+        needed: list[str] = []
+        for workload, _ in pending:
+            if workload in seen:
+                continue
+            seen.add(workload)
+            if not pipeline.workload_prepared(workload):
+                needed.append(workload)
+
+        scheduler = SupervisedScheduler(
+            max_workers=jobs, policy=policy, timeout=timeout,
+            fail_fast=fail_fast)
+
         inline: dict[str, tuple] = {}
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            if needed:
-                tasks = [(workload, self.settings, root)
-                         for workload in needed]
-                for (workload, _, _), (stats, payload) in zip(
-                        tasks, pool.map(_prepare_worker, tasks)):
-                    self.store.merge_stats(stats)
-                    if payload is not None:
-                        inline[workload] = payload
-                        pipeline.adopt_workload(
-                            workload, selection=payload[0],
-                            checkpoints=payload[1])
-            tasks = [(workload, config, self.settings, root,
-                      inline.get(workload))
-                     for workload, config in pending]
-            for (workload, config, _, _, _), (data, stats) in zip(
-                    tasks, pool.map(_experiment_worker, tasks)):
-                self.store.merge_stats(stats)
-                result = ExperimentResult.from_dict(data)
-                pipeline.adopt_result(workload, config, result)
-                results[(workload, config.name)] = result
+
+        def adopt_prepared(task: Task, payload: tuple) -> None:
+            workload = task.payload[0]
+            stats, shipped = payload
+            self.store.merge_stats(stats)
+            if shipped is not None:
+                inline[workload] = shipped
+                pipeline.adopt_workload(workload, selection=shipped[0],
+                                        checkpoints=shipped[1])
+
+        prepare_wave = scheduler.run(
+            [Task(key=f"prepare:{workload}", fn=_prepare_worker,
+                  payload=(workload, self.settings, root))
+             for workload in needed],
+            on_result=adopt_prepared)
+        outcome.absorb(prepare_wave)
+
+        # a workload whose shared stages permanently failed poisons all
+        # of its experiments: record them as skipped instead of letting
+        # every worker re-fail on the same deterministic error
+        bad_workloads = {
+            record.key.split(":", 1)[1]: record
+            for record in prepare_wave.failures
+            if record.key.startswith("prepare:")}
+        runnable: list[tuple[str, BoomConfig]] = []
+        for workload, config in pending:
+            record = bad_workloads.get(workload)
+            if record is None:
+                runnable.append((workload, config))
+            else:
+                outcome.failures.append(TaskRecord(
+                    key=_pair_key(workload, config), kind="skipped",
+                    error=f"skipped: workload preparation failed "
+                          f"({record.error})", attempts=0))
+        if outcome.aborted:
+            # fail-fast tripped during workload preparation: account for
+            # the experiments that will now never run
+            recorded = {record.key for record in outcome.failures}
+            for workload, config in runnable:
+                key = _pair_key(workload, config)
+                if key not in recorded:
+                    outcome.failures.append(TaskRecord(
+                        key=key, kind="skipped",
+                        error="skipped: fail-fast abort during workload "
+                              "preparation", attempts=0))
+            return
+        if not runnable:
+            return
+
+        def adopt_result(task: Task, payload: tuple) -> None:
+            workload, config = task.payload[0], task.payload[1]
+            data, stats = payload
+            self.store.merge_stats(stats)
+            result = ExperimentResult.from_dict(data)
+            pipeline.adopt_result(workload, config, result)
+            results[(workload, config.name)] = result
+            self._record_completion(task.key)
+
+        experiment_wave = scheduler.run(
+            [Task(key=_pair_key(workload, config), fn=_experiment_worker,
+                  payload=(workload, config, self.settings, root,
+                           inline.get(workload)))
+             for workload, config in runnable],
+            on_result=adopt_result)
+        outcome.absorb(experiment_wave)
+
+    # ------------------------------------------------------------------
+    # sweep state (incremental progress + resume)
+    # ------------------------------------------------------------------
+
+    def _sweep_id(self, pairs: list[tuple[str, BoomConfig]]) -> str:
+        """Content address of this sweep's *work plan*.
+
+        Covers every fingerprint-relevant setting and the exact pair
+        set, but deliberately not the fault-injection knobs — a resumed
+        run with faults disabled must still match the state its faulty
+        predecessor recorded.
+        """
+        settings = self.settings
+        return self.store.fingerprint("sweep", {
+            "scale": settings.scale,
+            "seed": settings.seed,
+            "warmup": settings.warmup,
+            "bic_threshold": settings.bic_threshold,
+            "max_k": settings.max_k,
+            "coverage": settings.coverage,
+            "pairs": sorted(_pair_key(workload, config)
+                            for workload, config in pairs),
+            "model": MODEL_VERSION,
+        })
+
+    def _state_path(self) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / SWEEP_STATE_NAME
+
+    def _load_state(self, sweep_id: str) -> dict | None:
+        path = self._state_path()
+        if path is None or not path.exists():
+            return None
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(state, dict) or state.get("sweep_id") != sweep_id:
+            return None
+        return state
+
+    def _apply_resume(self, pairs: list[tuple[str, BoomConfig]],
+                      sweep_id: str, resume: bool,
+                      outcome: ScheduleOutcome) \
+            -> list[tuple[str, BoomConfig]]:
+        """Carry a prior interrupted run's permanent failures forward.
+
+        Completed experiments need no special handling — their results
+        sit in the artifact store and resolve as cache hits — but
+        known-permanent failures are deterministic and would only fail
+        again, so with ``resume`` they are recorded without re-running.
+        """
+        if not resume:
+            return pairs
+        state = self._load_state(sweep_id)
+        if state is None:
+            logger.info("no resumable sweep state; starting fresh")
+            return pairs
+        self.resumed_completed = len(state.get("completed", []))
+        carried = {record["key"]: record
+                   for record in state.get("failures", [])
+                   if record.get("kind") == PERMANENT}
+        if not carried:
+            return pairs
+        remaining: list[tuple[str, BoomConfig]] = []
+        for workload, config in pairs:
+            record = carried.get(_pair_key(workload, config))
+            if record is None:
+                remaining.append((workload, config))
+            else:
+                outcome.failures.append(TaskRecord(
+                    key=record["key"], kind=PERMANENT,
+                    error=f"(carried from interrupted run) "
+                          f"{record['error']}",
+                    attempts=record.get("attempts", 1)))
+        return remaining
+
+    def _record_completion(self, key: str) -> None:
+        state = getattr(self, "_state", None)
+        if state is None:
+            return
+        if key not in state["completed"]:
+            state["completed"].append(key)
+        self._write_state()
+
+    def _write_state(self) -> None:
+        path = self._state_path()
+        if path is None:
+            return
+        atomic_write_text(path, json.dumps(self._state, indent=2,
+                                           sort_keys=True))
 
     # ------------------------------------------------------------------
     # observability
@@ -228,6 +496,6 @@ class SweepRunner:
     def _write_manifest(self, manifest: RunManifest) -> None:
         if self.cache_dir is None:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        (self.cache_dir / MANIFEST_NAME).write_text(
-            json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        atomic_write_text(self.cache_dir / MANIFEST_NAME,
+                          json.dumps(manifest.to_dict(), indent=2,
+                                     sort_keys=True))

@@ -5,8 +5,15 @@ from repro.pipeline.artifacts import (
     ArtifactStore,
     MODEL_VERSION,
     StageStats,
+    atomic_write_text,
 )
-from repro.pipeline.manifest import RunManifest
+from repro.pipeline.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFailure,
+    parse_fault_spec,
+)
+from repro.pipeline.manifest import RunManifest, TaskRecord
 from repro.pipeline.stages import (
     CHECKPOINT_STAGE,
     DETAILED_STAGE,
@@ -25,7 +32,13 @@ __all__ = [
     "ArtifactStore",
     "MODEL_VERSION",
     "StageStats",
+    "atomic_write_text",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFailure",
+    "parse_fault_spec",
     "RunManifest",
+    "TaskRecord",
     "ExperimentPipeline",
     "PROFILE_STAGE",
     "SELECTION_STAGE",

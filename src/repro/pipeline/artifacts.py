@@ -26,7 +26,14 @@ On-disk layout (one subdirectory per stage)::
 With ``root=None`` the store is memory-only (used by one-shot
 ``run_experiment`` calls and tests).  Corrupt artifacts — truncated or
 garbage JSON, bad checkpoint blobs — are counted, discarded, and
-recomputed; they never crash a run.
+recomputed; they never crash a run.  Every persisted artifact (JSON
+files *and* checkpoint directories) is written to a temporary sibling
+and atomically renamed into place, so a crash mid-write can never leave
+a torn file that later parses as corrupt.
+
+A store can carry a :class:`~repro.pipeline.faults.FaultInjector`; the
+``artifact.read``, ``artifact.write`` and ``stage.<name>`` injection
+sites live here (see :mod:`repro.pipeline.faults`).
 """
 
 from __future__ import annotations
@@ -49,6 +56,36 @@ MODEL_VERSION = 11
 ARTIFACT_FORMAT = 1
 
 _MISSING = object()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory tmp + ``os.replace``.
+
+    ``os.replace`` is atomic on POSIX, so readers either see the old
+    complete file or the new complete one — never a torn write.  Used
+    for every JSON the pipeline persists (artifacts, run manifests,
+    sweep state).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def atomic_replace_dir(tmp: Path, path: Path) -> None:
+    """Atomically promote a fully-written tmp directory to ``path``.
+
+    If another process won the race and ``path`` already exists, the
+    tmp tree is discarded — content-addressed artifacts are identical
+    by construction, so either copy serves.
+    """
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        if path.exists():
+            shutil.rmtree(tmp, ignore_errors=True)
+        else:
+            raise
 
 
 @dataclass
@@ -122,8 +159,10 @@ class ArtifactStore:
     runs — and parallel worker processes — share them.
     """
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    def __init__(self, root: Path | str | None = None,
+                 faults: Any = None) -> None:
         self.root = Path(root) if root is not None else None
+        self.faults = faults  # optional repro.pipeline.faults.FaultInjector
         self._memory: dict[tuple[str, str], Any] = {}
         self._stats: dict[str, StageStats] = defaultdict(StageStats)
 
@@ -180,11 +219,14 @@ class ArtifactStore:
     # JSON artifacts
     # ------------------------------------------------------------------
 
-    def _write_text(self, path: Path, text: str) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(text)
-        os.replace(tmp, path)
+    def _write_text(self, stage: str, fingerprint: str, path: Path,
+                    text: str) -> None:
+        if self.faults is not None:
+            self.faults.inject("artifact.write", f"{stage}/{fingerprint}")
+        atomic_write_text(path, text)
+        if self.faults is not None:
+            self.faults.corrupt_file("artifact.write",
+                                     f"{stage}/{fingerprint}", path)
 
     def remember(self, stage: str, fingerprint: str, value: Any) -> None:
         """Memoize a live value without touching disk or counters."""
@@ -197,7 +239,8 @@ class ArtifactStore:
         path = self.json_path(stage, fingerprint)
         if path is not None:
             payload = encode(value) if encode is not None else value
-            self._write_text(path, json.dumps(payload, sort_keys=True))
+            self._write_text(stage, fingerprint, path,
+                             json.dumps(payload, sort_keys=True))
 
     def peek_json(self, stage: str, fingerprint: str,
                   decode: Callable[[Any], Any] | None = None) -> Any:
@@ -213,6 +256,11 @@ class ArtifactStore:
             return self._memory[key]
         path = self.json_path(stage, fingerprint)
         if path is not None and path.exists():
+            # read-site faults fire *outside* the corrupt-guard so an
+            # injected transient I/O error propagates (and is retried)
+            # rather than being misread as a corrupt artifact
+            if self.faults is not None:
+                self.faults.inject("artifact.read", f"{stage}/{fingerprint}")
             try:
                 payload = json.loads(path.read_text())
                 value = decode(payload) if decode is not None else payload
@@ -251,6 +299,8 @@ class ArtifactStore:
                 self.import_legacy(stage, fingerprint, value, encode=encode)
                 return value
         self._stats[stage].misses += 1
+        if self.faults is not None:
+            self.faults.inject(f"stage.{stage}", fingerprint)
         started = perf_counter()
         value = compute()
         stats = self._stats[stage]
@@ -301,14 +351,22 @@ class ArtifactStore:
                 self._memory[key] = value
                 return value
         self._stats[stage].misses += 1
+        if self.faults is not None:
+            self.faults.inject(f"stage.{stage}", fingerprint)
         started = perf_counter()
         value = compute()
         stats = self._stats[stage]
         stats.executions += 1
         stats.seconds += perf_counter() - started
         if path is not None:
+            # build the directory next to its final home, then promote
+            # it atomically — a crash mid-save leaves only a tmp tree
             path.parent.mkdir(parents=True, exist_ok=True)
-            save(path, value)
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            save(tmp, value)
+            atomic_replace_dir(tmp, path)
         self._memory[key] = value
         return value
 

@@ -1,0 +1,256 @@
+"""Deterministic, seeded fault injection for the sweep's recovery paths.
+
+Long campaigns die from rare events — an OOM-killed worker, a torn
+artifact, a hung stage — and recovery code for those events is exactly
+the code that never runs in a clean environment.  This module makes the
+events reproducible: a :class:`FaultInjector` is threaded through the
+sweep (parent process *and* pool workers) and fires configured faults at
+named **sites**, deterministically derived from a seed, so every
+recovery path in :mod:`repro.flow.scheduler` can be exercised by tests
+and CI.
+
+Sites (``site`` → where it fires, and the ``key`` it draws on):
+
+======================  ====================================================
+``worker.prepare``      entry of a per-workload pool worker (key: workload)
+``worker.experiment``   entry of a per-experiment pool worker
+                        (key: ``workload/config``)
+``artifact.read``       before an artifact JSON is read
+                        (key: ``stage/fingerprint``)
+``artifact.write``      around an artifact JSON write
+                        (key: ``stage/fingerprint``)
+``stage.<stage>``       before a stage's compute runs (key: fingerprint)
+======================  ====================================================
+
+Fault kinds:
+
+``crash``    ``os._exit`` the current process — from a pool worker this
+             surfaces as ``BrokenProcessPool`` in the parent, the same
+             signature as an OOM kill.
+``hang``     sleep for ``s=<seconds>`` — exercises per-task timeouts.
+``io``       raise ``OSError`` (classified *transient* → retried).
+``fail``     raise :class:`InjectedFailure` (*permanent* → recorded).
+``corrupt``  after a write, replace the artifact file with garbage —
+             exercises the corrupt-discard-recompute path.
+
+Specs are compact strings so they can ride inside the frozen
+:class:`~repro.flow.experiment.FlowSettings` and the ``REPRO_FAULTS``
+environment variable::
+
+    worker.experiment:crash:n=1
+    artifact.write:corrupt:n=1,artifact.read:io:p=0.5:n=3
+    worker.experiment:hang:s=3:n=1
+
+``p=`` is the fire probability (default 1.0), ``n=`` caps the total
+number of fires for that spec (default 1; ``n=0`` means unlimited),
+``s=`` sets the hang duration, and ``k=<substring>`` restricts the
+spec to keys containing the substring (e.g.
+``artifact.write:corrupt:k=experiment_result`` corrupts only result
+artifacts).  The probability draw is a pure function
+of ``(seed, site, kind, key)``, so a given spec fires for the same tasks
+in every run regardless of scheduling order; the fire *cap* is claimed
+through marker files under ``<state_dir>/fault_state`` so it holds
+across retries and across pool-worker processes (falling back to
+in-process counting when no state directory is available).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["FaultSpec", "FaultInjector", "InjectedFailure",
+           "parse_fault_spec", "FAULT_KINDS", "FAULTS_ENV", "FAULT_SEED_ENV"]
+
+FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt")
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+STATE_DIR_NAME = "fault_state"
+
+
+class InjectedFailure(ReproError):
+    """Deterministic injected failure (classified *permanent*)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One configured fault: where, what, how often."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    max_fires: int = 1            # 0 = unlimited
+    seconds: float = 5.0          # hang duration
+    key_filter: str | None = None  # only fire for keys containing this
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"one of: {', '.join(FAULT_KINDS)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"fault probability {self.probability!r} "
+                             f"not in [0, 1]")
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identity used for fire-cap marker files."""
+        parts = [self.site, self.kind]
+        if self.key_filter:
+            parts.append(self.key_filter)
+        return "__".join("".join(ch if ch.isalnum() else "_" for ch in part)
+                         for part in parts)
+
+
+def parse_fault_spec(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a compact spec string into :class:`FaultSpec` entries."""
+    specs: list[FaultSpec] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        fields = chunk.split(":")
+        if len(fields) < 2:
+            raise ValueError(f"fault spec {chunk!r}: want site:kind[:opts]")
+        site, kind = fields[0], fields[1]
+        options: dict[str, str] = {}
+        for option in fields[2:]:
+            name, _, value = option.partition("=")
+            if name not in ("p", "n", "s", "k") or not value:
+                raise ValueError(f"fault spec {chunk!r}: bad option "
+                                 f"{option!r} (want p=, n=, s= or k=)")
+            options[name] = value
+        specs.append(FaultSpec(
+            site=site, kind=kind,
+            probability=float(options.get("p", 1.0)),
+            max_fires=int(options.get("n", 1)),
+            seconds=float(options.get("s", 5.0)),
+            key_filter=options.get("k")))
+    return tuple(specs)
+
+
+class FaultInjector:
+    """Fires configured faults at named sites, deterministically."""
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0,
+                 state_dir: Path | str | None = None) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._memory_fires: dict[FaultSpec, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_settings(cls, settings,
+                      root: Path | str | None) -> "FaultInjector | None":
+        """Build the injector a :class:`FlowSettings` asks for (or None).
+
+        ``root`` is the artifact-cache directory; when present, fire-cap
+        state lives under ``<root>/fault_state`` so it is shared by
+        every pool worker and every retry attempt.
+        """
+        spec_text = getattr(settings, "faults", None)
+        if not spec_text:
+            return None
+        state = Path(root) / STATE_DIR_NAME if root is not None else None
+        return cls(parse_fault_spec(spec_text),
+                   seed=getattr(settings, "fault_seed", 0), state_dir=state)
+
+    @classmethod
+    def env_spec(cls, environ: Mapping[str, str] | None = None) \
+            -> tuple[str | None, int]:
+        """(spec string, seed) from ``REPRO_FAULTS``/``REPRO_FAULT_SEED``."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(FAULTS_ENV) or None
+        if spec is not None:
+            parse_fault_spec(spec)  # fail fast on a malformed env var
+        return spec, int(environ.get(FAULT_SEED_ENV, "0"))
+
+    # ------------------------------------------------------------------
+    # decision
+    # ------------------------------------------------------------------
+
+    def _draw(self, spec: FaultSpec, key: str) -> bool:
+        """Deterministic probability draw for (seed, site, kind, key)."""
+        if spec.probability >= 1.0:
+            return True
+        token = f"{self.seed}|{spec.site}|{spec.kind}|{key}"
+        digest = hashlib.sha256(token.encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return unit < spec.probability
+
+    def _claim(self, spec: FaultSpec) -> bool:
+        """Claim one fire slot, respecting ``max_fires`` across processes."""
+        if spec.max_fires <= 0:
+            return True
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            for slot in range(spec.max_fires):
+                marker = self.state_dir / f"{spec.slug}.{slot}"
+                try:
+                    with open(marker, "x"):
+                        return True
+                except FileExistsError:
+                    continue
+            return False
+        fired = self._memory_fires.get(spec, 0)
+        if fired >= spec.max_fires:
+            return False
+        self._memory_fires[spec] = fired + 1
+        return True
+
+    def decide(self, site: str, key: str,
+               kinds: tuple[str, ...] | None = None) -> FaultSpec | None:
+        """The spec that fires at ``site`` for ``key``, if any."""
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if kinds is not None and spec.kind not in kinds:
+                continue
+            if spec.key_filter is not None and spec.key_filter not in key:
+                continue
+            if self._draw(spec, key) and self._claim(spec):
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+
+    def inject(self, site: str, key: str) -> None:
+        """Fire any crash/hang/io/fail fault configured for ``site``.
+
+        ``corrupt`` faults are write-site post-conditions; they are
+        applied by :meth:`corrupt_file` instead.
+        """
+        spec = self.decide(site, key, kinds=("crash", "hang", "io", "fail"))
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            # simulate an OOM kill: no cleanup, no exception propagation
+            os._exit(23)
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "io":
+            raise OSError(f"injected transient I/O fault at {site} ({key})")
+        raise InjectedFailure(
+            f"injected permanent failure at {site} ({key})")
+
+    def corrupt_file(self, site: str, key: str, path: Path) -> bool:
+        """Garble ``path`` if a ``corrupt`` fault fires; returns whether."""
+        spec = self.decide(site, key, kinds=("corrupt",))
+        if spec is None:
+            return False
+        path.write_text('{"injected": "corrupt artifact', encoding="utf-8")
+        return True

@@ -12,6 +12,14 @@ verified: on a cold cache a full sweep must execute ``bbv_profile``,
 ``simpoint_selection`` and ``checkpoints`` exactly once per workload
 (not once per workload x configuration), and a warm re-run must report
 a 100 % hit rate with zero stage executions.
+
+Since the supervised-scheduler refactor the manifest also carries the
+sweep's *fault record*: permanently-failed experiments (``failures``),
+abandoned hung tasks (``timeouts``) and the per-task transparent retry
+counts (``retries``).  A sweep with a non-empty ``failures`` or
+``timeouts`` section still completes and persists every other result;
+``repro-cli sweep`` turns those sections into a failure table and a
+non-zero exit code.
 """
 
 from __future__ import annotations
@@ -22,6 +30,25 @@ from typing import Mapping
 from repro.pipeline.artifacts import StageStats
 
 
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task the scheduler could not complete (or had to abandon)."""
+
+    key: str          # e.g. "qsort/MediumBOOM" or "prepare:qsort"
+    kind: str         # "permanent" | "transient" | "timeout" | "skipped"
+    error: str        # the failing exception, rendered
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "kind": self.kind, "error": self.error,
+                "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TaskRecord":
+        return cls(key=data["key"], kind=data["kind"],
+                   error=data["error"], attempts=data.get("attempts", 1))
+
+
 @dataclass
 class RunManifest:
     """Stage-level accounting for one scheduler run."""
@@ -30,12 +57,18 @@ class RunManifest:
     wall_seconds: float = 0.0
     jobs: int = 1
     experiments: int = 0
+    failures: list[TaskRecord] = field(default_factory=list)
+    timeouts: list[TaskRecord] = field(default_factory=list)
+    retries: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def delta(cls, before: Mapping[str, StageStats],
               after: Mapping[str, StageStats],
               wall_seconds: float = 0.0, jobs: int = 1,
-              experiments: int = 0) -> "RunManifest":
+              experiments: int = 0,
+              failures: list[TaskRecord] | None = None,
+              timeouts: list[TaskRecord] | None = None,
+              retries: Mapping[str, int] | None = None) -> "RunManifest":
         """Manifest covering the work done between two stats snapshots."""
         stages: dict[str, StageStats] = {}
         for stage, stats in after.items():
@@ -44,7 +77,10 @@ class RunManifest:
             if diff.lookups or diff.executions or diff.corrupt:
                 stages[stage] = diff
         return cls(stages=stages, wall_seconds=wall_seconds, jobs=jobs,
-                   experiments=experiments)
+                   experiments=experiments,
+                   failures=list(failures or ()),
+                   timeouts=list(timeouts or ()),
+                   retries=dict(retries or {}))
 
     # ------------------------------------------------------------------
     # aggregates
@@ -73,6 +109,15 @@ class RunManifest:
             return 1.0
         return self.total_hits / lookups
 
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scheduled task completed (retries are fine)."""
+        return not self.failures and not self.timeouts
+
     # ------------------------------------------------------------------
     # serialization / rendering
     # ------------------------------------------------------------------
@@ -85,6 +130,9 @@ class RunManifest:
             "hit_rate": self.hit_rate,
             "stages": {stage: stats.to_dict()
                        for stage, stats in sorted(self.stages.items())},
+            "failures": [record.to_dict() for record in self.failures],
+            "timeouts": [record.to_dict() for record in self.timeouts],
+            "retries": dict(sorted(self.retries.items())),
         }
 
     @classmethod
@@ -94,7 +142,12 @@ class RunManifest:
                     for stage, stats in data.get("stages", {}).items()},
             wall_seconds=data.get("wall_seconds", 0.0),
             jobs=data.get("jobs", 1),
-            experiments=data.get("experiments", 0))
+            experiments=data.get("experiments", 0),
+            failures=[TaskRecord.from_dict(record)
+                      for record in data.get("failures", [])],
+            timeouts=[TaskRecord.from_dict(record)
+                      for record in data.get("timeouts", [])],
+            retries=dict(data.get("retries", {})))
 
     def format(self) -> str:
         """Fixed-width stage-accounting table."""
@@ -113,4 +166,26 @@ class RunManifest:
         lines.append(f"cache hit rate {self.hit_rate:.1%} over "
                      f"{self.experiments} experiments "
                      f"({self.wall_seconds:.2f}s, jobs={self.jobs})")
+        fault_table = self.format_faults()
+        if fault_table:
+            lines.append(fault_table)
+        return "\n".join(lines)
+
+    def format_faults(self) -> str:
+        """Failure/retry/timeout table; empty string for a clean run."""
+        if self.ok and not self.retries:
+            return ""
+        lines: list[str] = []
+        if self.retries:
+            lines.append(f"retries ({self.total_retries} total):")
+            for key, count in sorted(self.retries.items()):
+                lines.append(f"  {key:<34} x{count}")
+        for label, records in (("timeouts", self.timeouts),
+                               ("failures", self.failures)):
+            if not records:
+                continue
+            lines.append(f"{label} ({len(records)}):")
+            for record in records:
+                lines.append(f"  {record.key:<34} {record.kind:<10} "
+                             f"attempts={record.attempts}  {record.error}")
         return "\n".join(lines)

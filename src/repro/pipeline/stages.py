@@ -36,6 +36,7 @@ import numpy as np
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.checkpoint.creator import create_checkpoints
 from repro.checkpoint.store import load_checkpoints, save_checkpoints
+from repro.errors import CorruptArtifactError
 from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
 
 # NOTE: repro.flow.results is imported lazily inside the functions that
@@ -88,6 +89,23 @@ PAPER_COUNTERPART = {
 # artifact (de)serialization
 # ----------------------------------------------------------------------
 
+def _require(data: Any, keys: tuple[str, ...], artifact: str) -> None:
+    """Reject a decoded payload that is not the artifact it claims to be.
+
+    Raised as :class:`CorruptArtifactError` (a *transient* failure) so
+    the artifact store discards and recomputes it — and so a supervising
+    scheduler retries rather than aborts when a torn or garbage artifact
+    surfaces through a worker.
+    """
+    if not isinstance(data, dict):
+        raise CorruptArtifactError(
+            f"{artifact} artifact is {type(data).__name__}, not a mapping")
+    missing = [key for key in keys if key not in data]
+    if missing:
+        raise CorruptArtifactError(
+            f"{artifact} artifact missing keys: {', '.join(missing)}")
+
+
 def profile_to_dict(profile: BBVProfile) -> dict:
     return {
         "interval_size": profile.interval_size,
@@ -101,6 +119,9 @@ def profile_to_dict(profile: BBVProfile) -> dict:
 
 
 def profile_from_dict(data: dict) -> BBVProfile:
+    _require(data, ("interval_size", "vectors", "interval_lengths",
+                    "blocks", "total_instructions", "program_name"),
+             "bbv_profile")
     return BBVProfile(
         interval_size=data["interval_size"],
         vectors=[{int(block): count for block, count in vector.items()}
@@ -127,6 +148,9 @@ def selection_to_dict(selection: SimPointSelection) -> dict:
 
 
 def selection_from_dict(data: dict) -> SimPointSelection:
+    _require(data, ("points", "chosen_k", "interval_size", "num_intervals",
+                    "total_instructions", "bic_scores", "coverage_target"),
+             "simpoint_selection")
     labels = data.get("labels")
     return SimPointSelection(
         points=[SimPoint(**point) for point in data["points"]],

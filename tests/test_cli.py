@@ -136,3 +136,43 @@ def test_unknown_workload_rejected():
 def test_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_sweep_degraded_exit_code_and_fault_table(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "sweep", "--faults", "stage.detailed_sim:fail:n=1"])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "failures" in captured.out          # fault table printed
+    assert "sweep degraded:" in captured.err
+    assert "1 failed" in captured.err
+
+
+def test_sweep_resume_carries_failure_and_reports(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "sweep", "--faults", "stage.detailed_sim:fail:n=1"])
+    capsys.readouterr()
+    assert code == 3
+
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "sweep", "--resume"])
+    captured = capsys.readouterr()
+    assert code == 3  # the carried permanent failure still degrades
+    assert "resumed:" in captured.out
+    assert "carried from interrupted run" in captured.out
+
+    # a plain re-run (no --resume) re-attempts the failed experiment and,
+    # with injection gone, completes clean
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path), "sweep"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "perf-per-watt" in captured.out
+
+
+def test_sweep_retries_transient_faults(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "--jobs", "2", "sweep", "--retries", "2",
+                 "--faults", "worker.experiment:io:n=1", "--verbose"])
+    captured = capsys.readouterr()
+    assert code == 0  # transient fault retried to success
+    assert "retries" in captured.out
