@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Run the hot-path benchmark harness (thin wrapper over repro.bench).
+
+Examples::
+
+    python scripts/bench.py                 # full pinned suite
+    python scripts/bench.py --quick         # CI smoke budgets
+    python scripts/bench.py --baseline benchmarks/bench_baseline.json \
+        --check --no-write                  # regression gate
+
+Emits ``BENCH_<date>.json`` with instr/s, cycles/s, per-stage wall-clock,
+and peak RSS, plus a comparison against the previous snapshot.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Generate golden equivalence fixtures for the optimized hot paths.
+
+Thin CLI over :mod:`repro.goldens`: captures retire streams, BBV vectors,
+final architectural state, ``uarch.stats`` counters, and power reports
+from the *current* tree into ``benchmarks/golden/<workload>.json``.  The
+fixtures committed in-repo were generated from the pre-optimization tree,
+so the equivalence tests in ``tests/sim/test_equivalence.py`` pin the
+optimized paths to the original semantics — regenerate only when an
+intentional semantic change invalidates them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_golden.py [--scale 0.1] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.goldens import (  # noqa: E402
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    bbv_fixture,
+    core_fixture,
+    functional_fixture,
+)
+from repro.workloads.suite import build_program, workload_names  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=GOLDEN_SCALE)
+    parser.add_argument("--seed", type=int, default=GOLDEN_SEED)
+    parser.add_argument("--out", default=None,
+                        help="output dir (default benchmarks/golden)")
+    parser.add_argument("--workloads", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "benchmarks" / "golden"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = args.workloads or workload_names()
+    for workload in names:
+        program = build_program(workload, scale=args.scale, seed=args.seed)
+        fixture = {
+            "workload": workload,
+            "scale": args.scale,
+            "seed": args.seed,
+            "functional": functional_fixture(program),
+            "bbv": bbv_fixture(workload, program, args.scale),
+            "core": core_fixture(workload, program),
+        }
+        path = out_dir / f"{workload}.json"
+        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} "
+              f"(retired={fixture['functional']['retired']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
     repro-cli sweep --verbose --jobs 4
     repro-cli cache stats
     repro-cli cache invalidate --stage detailed_sim
+    repro-cli bench --quick
 """
 
 from __future__ import annotations
@@ -309,6 +310,25 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main as bench_main
+
+    argv: list[str] = []
+    if args.quick:
+        argv.append("--quick")
+    if args.output:
+        argv += ["--output", args.output]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.check:
+        argv.append("--check")
+    if args.no_write:
+        argv.append("--no-write")
+    if args.threshold is not None:
+        argv += ["--threshold", str(args.threshold)]
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -418,6 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline_parser.add_argument("--uops", type=int, default=32)
     pipeline_parser.add_argument("--skip", type=int, default=0)
     pipeline_parser.set_defaults(handler=_cmd_pipeline)
+
+    bench_parser = commands.add_parser(
+        "bench", help="run the hot-path benchmark harness "
+                      "(emits BENCH_<date>.json)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="small budgets for CI smoke runs")
+    bench_parser.add_argument("--output", "-o", default=None)
+    bench_parser.add_argument("--baseline", default=None,
+                              help="snapshot to compare against")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="exit 1 on regression past --threshold")
+    bench_parser.add_argument("--no-write", action="store_true")
+    bench_parser.add_argument("--threshold", type=float, default=None,
+                              help="allowed fractional regression "
+                                   "(default 0.30)")
+    bench_parser.set_defaults(handler=_cmd_bench)
     return parser
 
 

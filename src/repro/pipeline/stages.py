@@ -169,11 +169,13 @@ def selection_from_dict(data: dict) -> SimPointSelection:
 # run_selection path used by the sampling-policy baselines)
 # ----------------------------------------------------------------------
 
-def compute_profile(workload: str, settings) -> BBVProfile:
+def compute_profile(workload: str, settings,
+                    program=None) -> BBVProfile:
     """Stage 1: functional run + per-interval basic-block vectors."""
     spec = get_workload(workload)
-    program = build_program(workload, scale=settings.scale,
-                            seed=settings.seed)
+    if program is None:
+        program = build_program(workload, scale=settings.scale,
+                                seed=settings.seed)
     interval = spec.interval_for_scale(settings.scale)
     return BBVProfiler(interval).profile(program)
 
@@ -187,10 +189,12 @@ def compute_selection(profile: BBVProfile, settings) -> SimPointSelection:
 
 
 def compute_checkpoints(workload: str, settings,
-                        selection: SimPointSelection) -> list[Checkpoint]:
+                        selection: SimPointSelection,
+                        program=None) -> list[Checkpoint]:
     """Stage 3: one functional pass snapshotting every SimPoint start."""
-    program = build_program(workload, scale=settings.scale,
-                            seed=settings.seed)
+    if program is None:
+        program = build_program(workload, scale=settings.scale,
+                                seed=settings.seed)
     return create_checkpoints(program, selection,
                               warmup=settings.scaled_warmup())
 
@@ -276,6 +280,23 @@ class ExperimentPipeline:
     def __init__(self, store: ArtifactStore, settings) -> None:
         self.store = store
         self.settings = settings
+        #: workload -> assembled Program, built at most once per pipeline.
+        #: Sharing one Program object across stages (and across the N
+        #: config points of a sweep) also shares the executor's superblock
+        #: cache and the detailed core's decode table, which are keyed by
+        #: program identity.  Fingerprints never include the program, so
+        #: cached artifacts are unaffected.
+        self._programs: dict[str, Any] = {}
+
+    def program(self, workload: str):
+        """The assembled :class:`Program` for ``workload`` (memoized)."""
+        program = self._programs.get(workload)
+        if program is None:
+            settings = self.settings
+            program = build_program(workload, scale=settings.scale,
+                                    seed=settings.seed)
+            self._programs[workload] = program
+        return program
 
     # -------------------------- fingerprints --------------------------
 
@@ -333,7 +354,8 @@ class ExperimentPipeline:
     def profile(self, workload: str) -> BBVProfile:
         return self.store.fetch_json(
             PROFILE_STAGE, self.profile_fingerprint(workload),
-            compute=lambda: compute_profile(workload, self.settings),
+            compute=lambda: compute_profile(workload, self.settings,
+                                            self.program(workload)),
             encode=profile_to_dict, decode=profile_from_dict)
 
     def selection(self, workload: str) -> SimPointSelection:
@@ -347,17 +369,16 @@ class ExperimentPipeline:
         return self.store.fetch_dir(
             CHECKPOINT_STAGE, self.checkpoint_fingerprint(workload),
             compute=lambda: compute_checkpoints(
-                workload, self.settings, self.selection(workload)),
+                workload, self.settings, self.selection(workload),
+                self.program(workload)),
             save=save_checkpoints, load=load_checkpoints)
 
     def detailed(self, workload: str, config: BoomConfig) -> list[dict]:
         def compute() -> list[dict]:
             settings = self.settings
-            program = build_program(workload, scale=settings.scale,
-                                    seed=settings.seed)
             interval = get_workload(workload) \
                 .interval_for_scale(settings.scale)
-            return simulate_raw_runs(config, program,
+            return simulate_raw_runs(config, self.program(workload),
                                      self.checkpoints(workload), interval)
 
         return self.store.fetch_json(

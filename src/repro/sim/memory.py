@@ -15,14 +15,26 @@ PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 _PAGE_MASK = PAGE_SIZE - 1
 
+#: pages below this number (32 MiB of address space — text, data, stack
+#: and heap base all live here) also get a slot in a flat array, so the
+#: scalar fast path is a list index instead of a dict probe
+_DIRECT_PAGES = 1 << 13
+
 
 class Memory:
-    """Sparse paged memory with little-endian scalar accessors."""
+    """Sparse paged memory with little-endian scalar accessors.
 
-    __slots__ = ("_pages",)
+    The dict of pages remains the single source of truth (snapshots,
+    clones and page counts all walk it); ``_direct`` is a read-through
+    acceleration structure for the low address range the executor's
+    loads and stores almost always hit.
+    """
+
+    __slots__ = ("_pages", "_direct")
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        self._direct: list[bytearray | None] = [None] * _DIRECT_PAGES
 
     # ------------------------------------------------------------------
     # bulk operations
@@ -64,7 +76,11 @@ class Memory:
         """Load ``width`` bytes at ``address`` as an unsigned integer."""
         page_offset = address & _PAGE_MASK
         if page_offset + width <= PAGE_SIZE:
-            page = self._pages.get(address >> PAGE_SHIFT)
+            number = address >> PAGE_SHIFT
+            if 0 <= number < _DIRECT_PAGES:
+                page = self._direct[number]
+            else:
+                page = self._pages.get(number)
             if page is None:
                 page = self._page(address)
             return int.from_bytes(page[page_offset:page_offset + width],
@@ -76,7 +92,11 @@ class Memory:
         page_offset = address & _PAGE_MASK
         data = (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
         if page_offset + width <= PAGE_SIZE:
-            page = self._pages.get(address >> PAGE_SHIFT)
+            number = address >> PAGE_SHIFT
+            if 0 <= number < _DIRECT_PAGES:
+                page = self._direct[number]
+            else:
+                page = self._pages.get(number)
             if page is None:
                 page = self._page(address)
             page[page_offset:page_offset + width] = data
@@ -95,6 +115,7 @@ class Memory:
         """Replace memory contents with a page snapshot."""
         self._pages = {number: bytearray(page)
                        for number, page in pages.items()}
+        self._rebuild_direct()
 
     def touched_page_count(self) -> int:
         """Number of pages that have been allocated."""
@@ -105,9 +126,17 @@ class Memory:
         copy = Memory()
         copy._pages = {number: bytearray(page)
                        for number, page in self._pages.items()}
+        copy._rebuild_direct()
         return copy
 
     # ------------------------------------------------------------------
+
+    def _rebuild_direct(self) -> None:
+        direct: list[bytearray | None] = [None] * _DIRECT_PAGES
+        for number, page in self._pages.items():
+            if 0 <= number < _DIRECT_PAGES:
+                direct[number] = page
+        self._direct = direct
 
     def _page(self, address: int) -> bytearray:
         if address < 0:
@@ -117,4 +146,6 @@ class Memory:
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[number] = page
+            if number < _DIRECT_PAGES:
+                self._direct[number] = page
         return page

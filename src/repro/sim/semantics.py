@@ -20,6 +20,7 @@ import math
 import struct
 from typing import Callable, Optional
 
+from repro.errors import SimulationError
 from repro.sim.state import ArchState, MASK64, to_signed
 from repro.sim.syscalls import handle_ecall
 from repro.isa.instructions import Instruction
@@ -655,6 +656,20 @@ def _fnmadd(s: ArchState, i: Instruction) -> None:
 @_register("fnmsub.d")
 def _fnmsub(s: ArchState, i: Instruction) -> None:
     s.f[i.rd] = -(s.f[i.rs1] * s.f[i.rs2]) + s.f[i.rs3]
+
+
+def semantics_for(instr: Instruction) -> SemanticFn:
+    """Semantic function for ``instr``, as a simulation-level failure.
+
+    An unknown mnemonic surfaces as :class:`SimulationError` carrying the
+    faulting pc — a diagnosable simulation fault rather than a bare
+    ``KeyError`` escaping the dispatch table.
+    """
+    fn = SEMANTICS.get(instr.mnemonic)
+    if fn is None:
+        raise SimulationError(
+            f"unknown opcode {instr.mnemonic!r} at pc 0x{instr.pc:x}")
+    return fn
 
 
 def missing_semantics() -> list[str]:

@@ -46,6 +46,8 @@ class L1Cache:
             del self._mshrs[line]
 
     def mshr_occupancy(self, cycle: int) -> int:
+        if not self._mshrs:
+            return 0
         self._retire_mshrs(cycle)
         return len(self._mshrs)
 

@@ -119,16 +119,25 @@ class BoomCore:
         budget = max_instructions if max_instructions is not None \
             else 1 << 40
         deadline = self.cycle + _SAFETY_FACTOR * (budget + 64)
-        while True:
-            if target is not None and self.retired_total >= target:
-                break
-            if self.frontend.out_of_instructions and self.rob.is_empty:
-                break
-            self._step()
-            if self.cycle > deadline:
-                raise SimulationError(
-                    f"pipeline made no progress for {_SAFETY_FACTOR}x the "
-                    f"instruction budget (deadlock?) at cycle {self.cycle}")
+        try:
+            while True:
+                if target is not None and self.retired_total >= target:
+                    break
+                if self.frontend.out_of_instructions and self.rob.is_empty:
+                    break
+                self._step()
+                if self.cycle > deadline:
+                    raise SimulationError(
+                        f"pipeline made no progress for {_SAFETY_FACTOR}x "
+                        f"the instruction budget (deadlock?) at cycle "
+                        f"{self.cycle}")
+        finally:
+            # Issue-queue occupancy is sampled into histograms per cycle;
+            # fold them into the stats counters whenever control leaves
+            # the cycle loop so readers always see settled stats.
+            self.iq_int.flush_samples()
+            self.iq_mem.flush_samples()
+            self.iq_fp.flush_samples()
         return self.retired_total - start
 
     def _step(self) -> None:
@@ -167,7 +176,7 @@ class BoomCore:
                 self.fp_in_flight -= 1
             if self.retire_log is not None:
                 self.retire_log.append((head, cycle))
-            self.stats.count_retired(head.opclass.name)
+            self.stats.count_retired(head.opclass_name)
             self.retired_total += 1
             width -= 1
 
@@ -310,8 +319,8 @@ class BoomCore:
 
     def _sample(self, cycle: int) -> None:
         self.rob.sample()
-        self.iq_int.sample()
-        self.iq_mem.sample()
-        self.iq_fp.sample()
+        self.iq_int.sample_batched()
+        self.iq_mem.sample_batched()
+        self.iq_fp.sample_batched()
         self.lsu.sample()
         self.stats.dcache.mshr_occupancy += self.dcache.mshr_occupancy(cycle)

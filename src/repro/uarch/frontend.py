@@ -23,11 +23,11 @@ from __future__ import annotations
 from collections import deque
 
 from repro.isa.program import Program, TEXT_BASE
-from repro.sim.semantics import SEMANTICS
 from repro.sim.state import ArchState, MASK64
 from repro.uarch.bpu import BranchPredictionUnit
 from repro.uarch.cache import L1Cache
 from repro.uarch.config import BoomConfig
+from repro.uarch.decode import decode_program
 from repro.uarch.stats import FrontendStats
 from repro.uarch.uop import COMPLETED, Uop
 from repro.isa.instructions import OpClass
@@ -53,8 +53,7 @@ class FetchUnit:
         self.bpu = bpu
         self.icache = icache
         self.stats = stats
-        self._ops = [(SEMANTICS[i.mnemonic], i)
-                     for i in program.instructions]
+        self._ops = decode_program(program)
         self.buffer: deque[Uop] = deque()
         self.stall_until = 0
         self.blocked_by: Uop | None = None
@@ -110,26 +109,29 @@ class FetchUnit:
         state = self.state
         ops = self._ops
         stats = self.stats
+        buffer = self.buffer
+        x = state.x
         line = state.pc >> _LINE_SHIFT
+        seq = self._seq
         while budget > 0 and not state.exited:
             pc = state.pc
             if pc >> _LINE_SHIFT != line:
                 break  # next line is a new fetch group (new I$ access)
-            index = (pc - TEXT_BASE) >> 2
-            fn, instr = ops[index]
-            uop = Uop(self._seq, instr)
-            self._seq += 1
-            if uop.is_load or uop.is_store:
-                uop.mem_addr = (state.x[instr.rs1] + instr.imm) & MASK64
-            next_pc = fn(state, instr)
+            dec = ops[(pc - TEXT_BASE) >> 2]
+            uop = dec.make_uop(seq)
+            seq += 1
+            if dec.is_mem:
+                uop.mem_addr = (x[dec.rs1] + dec.imm) & MASK64
+            next_pc = dec.fn(state, dec.instr)
             taken = next_pc is not None
             state.pc = next_pc if taken else pc + 4
-            self.buffer.append(uop)
+            buffer.append(uop)
             stats.fetch_buffer_writes += 1
             budget -= 1
-            if uop.is_control:
+            if dec.is_control:
                 if self._predict(uop, pc, taken, state.pc, cycle):
                     break
+        self._seq = seq
 
     def _predict(self, uop: Uop, pc: int, taken: bool,
                  actual_next: int, cycle: int) -> bool:

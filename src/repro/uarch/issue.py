@@ -15,6 +15,10 @@ from typing import Callable
 from repro.uarch.stats import IssueQueueStats
 from repro.uarch.uop import Uop
 
+#: Shared empty result for selects that issue nothing (callers must not
+#: mutate select()'s return value).
+_NO_ISSUE: list[Uop] = []
+
 
 class IssueQueue:
     """One collapsing issue queue."""
@@ -26,8 +30,10 @@ class IssueQueue:
         self.stats = stats
         stats.ensure_slots(entries)
         self._queue: list[Uop] = []
+        self._occ_hist = [0] * (entries + 1)
 
     def rebind_stats(self, stats: IssueQueueStats) -> None:
+        self.flush_samples()
         stats.ensure_slots(self.entries)
         self.stats = stats
 
@@ -55,25 +61,34 @@ class IssueQueue:
         ``can_issue(uop, cycle)`` combines operand readiness with the
         caller's structural checks (FU availability, LSU ordering, MSHRs).
         Selected entries are removed; survivors shift toward the head with
-        one counted register write per moved entry.
+        one counted register write per moved entry.  Entries ahead of the
+        first issued uop never move, so the survivor list is only built
+        (and the queue only rewritten) once something actually issues.
         """
-        if not self._queue or max_issue <= 0:
-            return []
-        issued: list[Uop] = []
-        kept: list[Uop] = []
+        queue = self._queue
+        if not queue or max_issue <= 0:
+            return _NO_ISSUE
+        issued: list[Uop] | None = None
+        kept: list[Uop] = queue  # replaced on first issue
         stats = self.stats
-        for index, uop in enumerate(self._queue):
-            if len(issued) < max_issue and can_issue(uop, cycle):
+        slot_writes = stats.slot_writes
+        for index, uop in enumerate(queue):
+            if issued is None:
+                if can_issue(uop, cycle):
+                    issued = [uop]
+                    kept = queue[:index]
+            elif len(issued) < max_issue and can_issue(uop, cycle):
                 issued.append(uop)
             else:
                 new_index = len(kept)
-                if issued and new_index != index:
+                if new_index != index:
                     stats.shifts += 1
-                    stats.slot_writes[new_index] += 1
+                    slot_writes[new_index] += 1
                 kept.append(uop)
-        if issued:
-            self._queue = kept
-            stats.issues += len(issued)
+        if issued is None:
+            return _NO_ISSUE
+        self._queue = kept
+        stats.issues += len(issued)
         return issued
 
     def wakeup(self) -> None:
@@ -88,6 +103,32 @@ class IssueQueue:
         slots = stats.slot_occupancy
         for index in range(occupancy):
             slots[index] += 1
+
+    def sample_batched(self) -> None:
+        """Record this cycle's occupancy in the histogram (hot path).
+
+        A collapsing queue always occupies the slot prefix ``0..occ-1``,
+        so the occupancy histogram losslessly encodes the same per-slot
+        residency :meth:`sample` counts cycle by cycle;
+        :meth:`flush_samples` converts it in one pass.
+        """
+        self._occ_hist[len(self._queue)] += 1
+
+    def flush_samples(self) -> None:
+        """Fold the batched histogram into the stats counters."""
+        hist = self._occ_hist
+        stats = self.stats
+        slots = stats.slot_occupancy
+        cycles_above = 0
+        for occ in range(len(hist) - 1, 0, -1):
+            count = hist[occ]
+            if count:
+                cycles_above += count
+                stats.occupancy += occ * count
+                hist[occ] = 0
+            if cycles_above:
+                slots[occ - 1] += cycles_above
+        hist[0] = 0
 
 
 class RingIssueQueue:
@@ -164,6 +205,14 @@ class RingIssueQueue:
         for index, occupant in enumerate(self._slots):
             if occupant is not None:
                 slots[index] += 1
+
+    def sample_batched(self) -> None:
+        # Occupied slots are scattered, not a prefix, so a histogram
+        # cannot reconstruct per-slot residency: sample eagerly instead.
+        self.sample()
+
+    def flush_samples(self) -> None:
+        pass
 
 
 def make_issue_queue(kind: str, name: str, entries: int,

@@ -101,7 +101,7 @@ class RenameStage:
         skipped.
         """
         sources = []
-        for kind, reg in uop.instr.source_regs():
+        for kind, reg in uop.src_regs:
             producer = self.unit_for(kind).lookup(reg)
             if producer is not None:
                 sources.append(producer)

@@ -7,7 +7,7 @@ tracked until commit.  State is a tiny integer enum for speed.
 
 from __future__ import annotations
 
-from repro.isa.instructions import Instruction, OpClass
+from repro.isa.instructions import Instruction
 
 DISPATCHED = 0
 ISSUED = 1
@@ -19,16 +19,17 @@ _NEVER = 1 << 60
 class Uop:
     """One in-flight micro-op."""
 
-    __slots__ = ("seq", "instr", "opclass", "queue", "srcs", "dest_kind",
-                 "state", "complete_cycle", "taken", "mispredicted",
-                 "btb_bubble", "is_load", "is_store", "mem_addr",
-                 "addr_ready", "dispatch_cycle", "issue_cycle",
-                 "x_reads", "f_reads")
+    __slots__ = ("seq", "instr", "opclass", "opclass_name", "queue", "srcs",
+                 "src_regs", "dest_kind", "state", "complete_cycle", "taken",
+                 "mispredicted", "btb_bubble", "is_load", "is_store",
+                 "is_control", "mem_addr", "addr_ready", "dispatch_cycle",
+                 "issue_cycle", "x_reads", "f_reads")
 
     def __init__(self, seq: int, instr: Instruction) -> None:
         self.seq = seq
         self.instr = instr
         self.opclass = instr.opclass
+        self.opclass_name = instr.opclass.name
         self.queue = instr.opclass.issue_queue
         self.srcs: tuple = ()
         spec = instr.spec
@@ -43,6 +44,7 @@ class Uop:
                 f_reads += 1
         self.x_reads = x_reads
         self.f_reads = f_reads
+        self.src_regs = instr.source_regs()
         if instr.writes_x:
             self.dest_kind = "x"
         elif instr.writes_f:
@@ -56,14 +58,11 @@ class Uop:
         self.btb_bubble = False
         self.is_load = instr.is_load
         self.is_store = instr.is_store
+        self.is_control = instr.opclass.is_control
         self.mem_addr = 0
         self.addr_ready = not instr.is_store
         self.dispatch_cycle = -1
         self.issue_cycle = -1
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass.is_control
 
     def ready(self, cycle: int) -> bool:
         """All source operands available at ``cycle``."""

@@ -1,0 +1,83 @@
+"""Optimized-vs-reference equivalence, pinned by committed goldens.
+
+The fixtures under ``benchmarks/golden/`` were generated from the
+pre-optimization tree (reference dispatch, unbatched stats), so these
+tests assert that the superblock executor, the page-array memory fast
+path, the decode-cached frontend, and the batched-stats core are all
+*bit-identical* to the original semantics:
+
+* retire traces — ``diff_traces`` over both dispatch modes' full streams;
+* final architectural state, output, and the dynamic block stream (the
+  ``control_hook`` BBV contract);
+* BBV profiles;
+* final ``uarch.stats`` counters and power reports per config.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.goldens import (
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    bbv_fixture,
+    core_fixture,
+    functional_fixture,
+    load_golden,
+    retire_pcs_from_blocks,
+)
+from repro.sim.tracing import RetireTrace, diff_traces
+from repro.workloads.suite import build_program, workload_names
+
+WORKLOADS = workload_names()
+
+
+def _program(workload: str):
+    return build_program(workload, scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+
+
+def _trace(program, pcs: list[int]) -> RetireTrace:
+    instr_at = {instr.pc: instr for instr in program.instructions}
+    trace = RetireTrace(capacity=max(1, len(pcs)))
+    for pc in pcs:
+        trace.record(instr_at[pc])
+    return trace
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_functional_superblock_matches_reference(workload):
+    program = _program(workload)
+    ref_blocks: list[tuple[int, int]] = []
+    sup_blocks: list[tuple[int, int]] = []
+    reference = functional_fixture(program, dispatch="reference",
+                                   blocks_out=ref_blocks)
+    superblock = functional_fixture(program, dispatch="superblock",
+                                    blocks_out=sup_blocks)
+    assert superblock == reference
+    # The retire streams (expanded from the dynamic block streams) must
+    # agree instruction for instruction.
+    ref_trace = _trace(program, retire_pcs_from_blocks(ref_blocks))
+    sup_trace = _trace(program, retire_pcs_from_blocks(sup_blocks))
+    divergence = diff_traces(ref_trace.entries(), sup_trace.entries())
+    assert divergence is None
+    assert ref_trace.total_recorded == reference["retired"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_functional_matches_golden(workload):
+    golden = load_golden(workload)
+    assert functional_fixture(_program(workload)) == golden["functional"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_bbv_profile_matches_golden(workload):
+    golden = load_golden(workload)
+    fixture = bbv_fixture(workload, _program(workload), GOLDEN_SCALE)
+    assert fixture == golden["bbv"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_core_stats_and_power_match_golden(workload):
+    golden = load_golden(workload)
+    fixture = core_fixture(workload, _program(workload))
+    assert fixture == golden["core"]
