@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` in library code.
+
+Library modules must log through :mod:`repro.obs.logs` (diagnostics) or
+return strings for the CLI to print (user-facing output).  A direct
+``print()`` in a library module bypasses ``--quiet``/``--verbose``,
+writes to the wrong stream, and interleaves under parallel sweeps.
+
+Walks the AST (so docstrings, comments, and ``fingerprint``-style
+substring matches never false-positive) of every module under
+``src/repro`` except the explicit allowlist of user-facing front ends.
+
+Exit status 1 if any offending call is found; the offenders are listed
+as ``path:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: modules whose job is printing to the user (CLI front ends, report
+#: renderers, the benchmark harness); everything else must use logging
+ALLOWED = {
+    "cli.py",
+    "bench.py",
+    "flow/report.py",
+    "power/report.py",
+}
+
+
+def find_prints(path: Path) -> list[int]:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        print(f"{path}: syntax error: {exc}", file=sys.stderr)
+        return []
+    lines = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "print":
+            lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT).as_posix()
+        if relative in ALLOWED:
+            continue
+        for line in find_prints(path):
+            offenders.append(f"{path.relative_to(REPO_ROOT)}:{line}")
+    if offenders:
+        print("bare print() in library code (use repro.obs.logs or "
+              "return text to the CLI):", file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print(f"lint_prints: OK ({len(list(SRC_ROOT.rglob('*.py')))} modules "
+          f"checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.errors import CheckpointError
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.isa.program import Program
+from repro.obs.tracer import get_tracer
 from repro.sim.executor import Executor
 from repro.simpoint.simpoints import SimPoint, SimPointSelection
 
@@ -74,4 +75,7 @@ def create_checkpoints(program: Program, selection: SimPointSelection,
             warmup_instructions=actual_warmup)
         checkpoint.measure_instructions = point.length or None
         checkpoints.append(checkpoint)
+        get_tracer().event("checkpoint.capture", workload=program.name,
+                           interval=point.interval_index,
+                           retired=state.retired)
     return checkpoints

@@ -36,6 +36,7 @@ from repro.analysis import (
     table_ii,
 )
 from repro.flow import FlowSettings, speedup_report, SweepRunner
+from repro.obs.logs import setup_cli_logging
 from repro.uarch.config import ALL_CONFIGS, config_by_name
 from repro.workloads.suite import workload_names
 
@@ -67,10 +68,38 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_trace_session(args: argparse.Namespace, runner: SweepRunner,
+                         *, label: str):
+    """Open a :class:`TraceSession` when tracing was requested."""
+    from repro.obs.session import TraceSession
+    from repro.obs.tracer import tracing_requested
+
+    if not (getattr(args, "trace", False) or tracing_requested()):
+        return None
+    if runner.cache_dir is None:
+        print("tracing requires a cache directory (drop --no-cache)",
+              file=sys.stderr)
+        return None
+    return TraceSession(runner.cache_dir, label=label).start()
+
+
+def _finish_trace_session(session) -> None:
+    if session is None:
+        return
+    path = session.finish()
+    if path is not None:
+        print(f"trace written to {path} (render with `repro-cli trace`)",
+              file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _runner(args)
     config = config_by_name(args.config)
-    result = runner.run(args.workload, config)
+    session = _maybe_trace_session(args, runner, label="run")
+    try:
+        result = runner.run(args.workload, config)
+    finally:
+        _finish_trace_session(session)
     print(f"{args.workload} on {config.name} (scale {args.scale:g})")
     print(f"  SimPoints: {len(result.runs)} of k={result.chosen_k} "
           f"clusters, coverage {result.coverage:.2f}")
@@ -86,7 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fig(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    results = runner.run_all(jobs=args.jobs)
+    results = runner.run_all(jobs=args.jobs, trace=args.trace)
     number = args.number
     if number in (5, 6, 7):
         config = {5: "MediumBOOM", 6: "LargeBOOM", 7: "MegaBOOM"}[number]
@@ -115,13 +144,13 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
 def _cmd_takeaways(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    results = runner.run_all(jobs=args.jobs)
+    results = runner.run_all(jobs=args.jobs, trace=args.trace)
     gshare_results = None
     if args.gshare:
         gshare_configs = tuple(c.with_predictor("gshare")
                                for c in ALL_CONFIGS)
         gshare_results = runner.run_all(configs=gshare_configs,
-                                        jobs=args.jobs)
+                                        jobs=args.jobs, trace=args.trace)
     checks = check_all(results, gshare_results)
     print(format_checks(checks))
     return 0 if all(c.passed for c in checks) else 1
@@ -143,7 +172,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.retries is not None else None
     results = runner.run_all(
         jobs=args.jobs, policy=policy, timeout=args.timeout,
-        fail_fast=args.fail_fast, resume=args.resume)
+        fail_fast=args.fail_fast, resume=args.resume,
+        trace=args.trace, progress=args.progress)
     if args.resume and runner.resumed_completed:
         print(f"resumed: {runner.resumed_completed} experiments already "
               f"complete from the interrupted run")
@@ -152,6 +182,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.verbose and manifest is not None:
         print()
         print(manifest.format())
+    if manifest is not None and manifest.trace:
+        print(f"trace written to {manifest.trace} "
+              f"(render with `repro-cli trace`)", file=sys.stderr)
     if manifest is not None and not manifest.ok:
         fault_table = manifest.format_faults()
         if fault_table and not args.verbose:
@@ -162,6 +195,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"({len(manifest.failures)} failed, "
               f"{len(manifest.timeouts)} timed out)", file=sys.stderr)
         return 3
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.merge import write_merged_trace
+    from repro.obs.render import chrome_json, format_summary, format_tree
+    from repro.obs.session import METRICS_NAME, resolve_run_dir
+
+    run_dir = resolve_run_dir(args.cache_dir, args.run)
+    if run_dir is None:
+        wanted = args.run or "latest"
+        print(f"no trace run found ({wanted}); record one with "
+              f"`repro-cli sweep --trace` or REPRO_TRACE=1",
+              file=sys.stderr)
+        return 2
+    trace_path = run_dir / "trace.json"
+    if not trace_path.exists():
+        # interrupted / crashed run: merge whatever event files survived
+        try:
+            write_merged_trace(run_dir)
+        except OSError as exc:
+            print(f"cannot merge trace in {run_dir}: {exc}",
+                  file=sys.stderr)
+            return 2
+    trace = json.loads(trace_path.read_text())
+    if args.format == "chrome":
+        text = chrome_json(trace)
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output} (open in Perfetto / "
+                  f"chrome://tracing)")
+        else:
+            print(text)
+        return 0
+    if args.format in ("tree", "full"):
+        print(format_tree(trace))
+    if args.format in ("summary", "full"):
+        if args.format == "full":
+            print()
+        print(format_summary(trace))
+    if args.metrics:
+        metrics_path = run_dir / METRICS_NAME
+        if metrics_path.exists():
+            print()
+            print(metrics_path.read_text().rstrip())
+        else:
+            print("\n(no metrics snapshot recorded)")
     return 0
 
 
@@ -341,6 +424,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel workers for sweeps")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="only errors on stderr")
+    parser.add_argument("--verbose", dest="log_verbose", action="count",
+                        default=0,
+                        help="diagnostic logging on stderr (repeat for "
+                             "debug)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a structured trace of the run under "
+                             "<cache>/obs/ (also via REPRO_TRACE=1); "
+                             "render it with `repro-cli trace`")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("table1", help="print Table I").set_defaults(
@@ -396,7 +489,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--fault-seed", type=int, default=None,
         help="seed for the fault-injection probability draws")
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="live per-workload progress + ETA on stderr, tailing the "
+             "simulator heartbeats (implies tracing)")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    trace_parser = commands.add_parser(
+        "trace", help="render a recorded run trace")
+    trace_parser.add_argument(
+        "run", nargs="?", default=None,
+        help="run id under <cache>/obs/, a run directory path, or "
+             "'latest' (default)")
+    trace_parser.add_argument(
+        "--format", "-f", default="full",
+        choices=("full", "tree", "summary", "chrome"),
+        help="full = span tree + critical-path/utilization summary; "
+             "chrome = Chrome trace-event JSON (Perfetto)")
+    trace_parser.add_argument(
+        "--output", "-o", default=None,
+        help="write chrome JSON here instead of stdout")
+    trace_parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print the run's metrics snapshot")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     cache_parser = commands.add_parser(
         "cache", help="inspect or prune the stage artifact cache")
@@ -459,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(verbose=args.log_verbose, quiet=args.quiet)
     return args.handler(args)
 
 

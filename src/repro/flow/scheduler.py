@@ -35,6 +35,7 @@ delays.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from collections import deque
 from concurrent.futures import (
@@ -48,9 +49,18 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import PERMANENT, TRANSIENT, classify_failure
-from repro.pipeline.manifest import TaskRecord
+from repro.obs.logs import setup_worker_logging
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import (
+    OBS_DIR_ENV,
+    OBS_PPID_ENV,
+    ensure_process_tracer,
+    get_tracer,
+)
+from repro.pipeline.manifest import TaskExecution, TaskRecord
 
-__all__ = ["RetryPolicy", "Task", "ScheduleOutcome", "SupervisedScheduler"]
+__all__ = ["RetryPolicy", "Task", "TaskEnvelope", "ScheduleOutcome",
+           "SupervisedScheduler"]
 
 logger = logging.getLogger("repro.flow.scheduler")
 
@@ -78,6 +88,56 @@ class Task:
     payload: Any
 
 
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """A worker's result wrapped with its execution provenance.
+
+    Every pool task runs through :func:`_run_task`, which records where
+    and when the attempt actually executed; the scheduler unwraps the
+    envelope in the parent, so callers and ``on_result`` hooks still see
+    the bare result while the manifest gains per-task worker PID and
+    wall-clock bounds.
+    """
+
+    pid: int
+    started: float      # wall clock (time.time) at attempt start
+    ended: float        # wall clock at attempt end
+    duration: float     # monotonic elapsed seconds
+    result: Any
+
+
+def _run_task(payload: tuple) -> TaskEnvelope:
+    """Module-level (picklable) wrapper around every scheduled task.
+
+    Worker-side observability bootstraps here: if the parent exported a
+    traced run directory, this process opens its own event file and
+    redirects its ``repro`` logging to a per-process log file (skipped
+    when running in-process, e.g. thread-pool tests, so the parent's
+    handlers are left alone).  The task body runs inside a ``task``
+    span; failures are recorded as an event and re-raised unchanged so
+    the scheduler's classification and retry logic see the original
+    exception.
+    """
+    fn, arg, key = payload
+    tracer = ensure_process_tracer()
+    run_dir = os.environ.get(OBS_DIR_ENV)
+    if run_dir and tracer.enabled:
+        parent_pid = os.environ.get(OBS_PPID_ENV)
+        if parent_pid != str(os.getpid()):
+            setup_worker_logging(run_dir)
+    started_wall = time.time()
+    started_mono = time.monotonic()
+    try:
+        with tracer.span("task", key=key):
+            result = fn(arg)
+    except BaseException as exc:
+        tracer.event("task.error", key=key, error=type(exc).__name__)
+        raise
+    return TaskEnvelope(
+        pid=os.getpid(), started=started_wall, ended=time.time(),
+        duration=time.monotonic() - started_mono, result=result)
+
+
 @dataclass
 class ScheduleOutcome:
     """What one scheduler run produced, completed and not."""
@@ -86,6 +146,7 @@ class ScheduleOutcome:
     failures: list[TaskRecord] = field(default_factory=list)
     timeouts: list[TaskRecord] = field(default_factory=list)
     retries: dict[str, int] = field(default_factory=dict)
+    executions: list[TaskExecution] = field(default_factory=list)
     respawns: int = 0
     aborted: bool = False
 
@@ -100,6 +161,7 @@ class ScheduleOutcome:
         self.timeouts.extend(other.timeouts)
         for key, count in other.retries.items():
             self.retries[key] = self.retries.get(key, 0) + count
+        self.executions.extend(other.executions)
         self.respawns += other.respawns
         self.aborted = self.aborted or other.aborted
 
@@ -207,10 +269,12 @@ class SupervisedScheduler:
         per-task timeout honest: a submitted task is (about to be)
         running, so its deadline clock starts at submission.
         """
+        tracer = get_tracer()
         while queue and len(inflight) < self.max_workers:
             task = queue.popleft()
             try:
-                future = pool.submit(task.fn, task.payload)
+                future = pool.submit(_run_task,
+                                     (task.fn, task.payload, task.key))
             except (BrokenExecutor, RuntimeError) as exc:
                 # the pool died between completions; respawn and retry
                 logger.warning("pool broken at submit (%s); respawning",
@@ -218,12 +282,19 @@ class SupervisedScheduler:
                 queue.appendleft(task)
                 self._kill(pool)
                 outcome.respawns += 1
+                tracer.event("pool.respawn", reason="broken-at-submit")
+                get_metrics().counter("scheduler.respawns").inc()
                 pool = self._spawn()
                 continue
             attempts[task.key] += 1
+            tracer.event("task.submit", key=task.key,
+                         attempt=attempts[task.key])
             inflight[future] = task
             if self.timeout is not None:
                 deadlines[future] = self._clock() + self.timeout
+        metrics = get_metrics()
+        metrics.gauge("scheduler.queue_depth").set(len(queue))
+        metrics.gauge("scheduler.inflight").set(len(inflight))
         return pool
 
     def _wait(self, inflight: dict[Future, Task],
@@ -262,6 +333,15 @@ class SupervisedScheduler:
                         key=task.key, kind=PERMANENT, error=_render(exc),
                         attempts=attempts[task.key]))
             else:
+                if isinstance(result, TaskEnvelope):
+                    outcome.executions.append(TaskExecution(
+                        key=task.key, pid=result.pid,
+                        started=result.started, ended=result.ended,
+                        attempts=attempts[task.key]))
+                    result = result.result
+                get_tracer().event("task.done", key=task.key,
+                                   attempt=attempts[task.key])
+                get_metrics().counter("scheduler.completed").inc()
                 outcome.results[task.key] = result
                 if on_result is not None:
                     on_result(task, result)
@@ -284,9 +364,16 @@ class SupervisedScheduler:
                            task.key, made, _render(exc))
             outcome.retries[task.key] = outcome.retries.get(task.key, 0) + 1
             queue.append(task)
-            return self.policy.backoff(made)
+            backoff = self.policy.backoff(made)
+            get_tracer().event("task.retry", key=task.key, attempt=made,
+                               error=_render(exc), backoff=backoff)
+            get_metrics().counter("scheduler.retries").inc()
+            return backoff
         logger.warning("task %s exhausted %d attempts (%s)",
                        task.key, made, _render(exc))
+        get_tracer().event("task.failed", key=task.key, attempt=made,
+                           error=_render(exc))
+        get_metrics().counter("scheduler.failures").inc()
         outcome.failures.append(TaskRecord(
             key=task.key, kind=TRANSIENT, error=_render(exc),
             attempts=made))
@@ -310,6 +397,8 @@ class SupervisedScheduler:
         deadlines.clear()
         self._kill(pool)
         outcome.respawns += 1
+        get_tracer().event("pool.respawn", reason="crash")
+        get_metrics().counter("scheduler.respawns").inc()
         logger.warning("process pool crashed; respawned (lost tasks "
                        "re-enqueued)")
         return self._spawn()
@@ -329,6 +418,10 @@ class SupervisedScheduler:
             future.cancel()
             logger.warning("task %s exceeded %gs timeout; abandoned",
                            task.key, self.timeout)
+            get_tracer().event("task.timeout", key=task.key,
+                               timeout=self.timeout,
+                               attempt=attempts[task.key])
+            get_metrics().counter("scheduler.timeouts").inc()
             outcome.timeouts.append(TaskRecord(
                 key=task.key, kind="timeout",
                 error=f"exceeded {self.timeout:g}s timeout",
@@ -351,6 +444,8 @@ class SupervisedScheduler:
         deadlines.clear()
         self._kill(pool)
         outcome.respawns += 1
+        get_tracer().event("pool.respawn", reason="timeout-recycle")
+        get_metrics().counter("scheduler.respawns").inc()
         return self._spawn()
 
     def _abort(self, inflight: dict[Future, Task],

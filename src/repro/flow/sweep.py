@@ -52,6 +52,11 @@ from repro.flow.scheduler import (
     SupervisedScheduler,
     Task,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.progress import ProgressMonitor
+from repro.obs.render import worker_utilization
+from repro.obs.session import TraceSession
+from repro.obs.tracer import tracing_requested
 from repro.pipeline.artifacts import (
     ArtifactStore,
     MODEL_VERSION,
@@ -185,7 +190,9 @@ class SweepRunner:
                 policy: RetryPolicy | None = None,
                 timeout: float | None = None,
                 fail_fast: bool = False,
-                resume: bool = False) \
+                resume: bool = False,
+                trace: bool = False,
+                progress: bool = False) \
             -> dict[tuple[str, str], ExperimentResult]:
         """The full study: every workload on every configuration.
 
@@ -203,6 +210,15 @@ class SweepRunner:
         store, and experiments that already failed *permanently* are
         carried forward instead of being recomputed (transient and
         fail-fast-skipped ones are re-attempted).
+
+        ``trace=True`` (or ``REPRO_TRACE=1``) records a structured trace
+        of the run — pipeline-stage spans, scheduler lifecycle events,
+        artifact cache events, simulator heartbeats — under
+        ``<cache>/obs/<run_id>/`` and merges it into ``trace.json`` when
+        the sweep finishes (``repro-cli trace`` renders it).
+        ``progress=True`` additionally tails the heartbeats live and
+        prints per-workload progress to stderr.  Tracing never alters
+        artifacts or fingerprints; it requires a cache directory.
         """
         started = perf_counter()
         before = self.store.stats_snapshot()
@@ -215,6 +231,7 @@ class SweepRunner:
         outcome = ScheduleOutcome()
         self.resumed_completed = 0
         pending_pairs = self._apply_resume(pairs, sweep_id, resume, outcome)
+        session, monitor = self._start_observability(trace, progress)
         self._state = {
             "sweep_id": sweep_id,
             "total": len(pairs),
@@ -224,18 +241,23 @@ class SweepRunner:
         }
         self._write_state()
         results: dict[tuple[str, str], ExperimentResult] = {}
-        if jobs > 1:
-            self._run_parallel(pending_pairs, jobs, results, outcome,
-                               policy=policy, timeout=timeout,
-                               fail_fast=fail_fast)
-        else:
-            self._run_serial(pending_pairs, results, outcome,
-                             policy=policy, fail_fast=fail_fast)
+        try:
+            if jobs > 1:
+                self._run_parallel(pending_pairs, jobs, results, outcome,
+                                   policy=policy, timeout=timeout,
+                                   fail_fast=fail_fast)
+            else:
+                self._run_serial(pending_pairs, results, outcome,
+                                 policy=policy, fail_fast=fail_fast)
+        finally:
+            trace_path = self._finish_observability(session, monitor)
         manifest = RunManifest.delta(
             before, self.store.stats_snapshot(),
             wall_seconds=perf_counter() - started, jobs=jobs,
             experiments=len(pairs), failures=outcome.failures,
-            timeouts=outcome.timeouts, retries=outcome.retries)
+            timeouts=outcome.timeouts, retries=outcome.retries,
+            tasks=outcome.executions, trace=trace_path)
+        manifest.metrics = self._metrics_snapshot(manifest, session)
         self.last_manifest = manifest
         self._state["failures"] = [record.to_dict()
                                    for record in outcome.failures]
@@ -243,6 +265,50 @@ class SweepRunner:
         self._write_state()
         self._write_manifest(manifest)
         return results
+
+    # ------------------------------------------------------------------
+    # observability session plumbing
+    # ------------------------------------------------------------------
+
+    def _start_observability(self, trace: bool, progress: bool) \
+            -> tuple[TraceSession | None, ProgressMonitor | None]:
+        """Open the trace session (and live monitor) for this run."""
+        if not (trace or progress or tracing_requested()):
+            return None, None
+        if self.cache_dir is None:
+            logger.warning("tracing requested but the sweep has no cache "
+                           "directory; trace disabled")
+            return None, None
+        session = TraceSession(self.cache_dir, label="sweep").start()
+        monitor = None
+        if progress:
+            monitor = ProgressMonitor(session.run_dir).start()
+        return session, monitor
+
+    def _finish_observability(self, session: TraceSession | None,
+                              monitor: ProgressMonitor | None) -> str:
+        """Stop the monitor, merge the trace; returns the trace path."""
+        if monitor is not None:
+            monitor.stop()
+        if session is None:
+            return ""
+        merged = session.finish()
+        return str(merged) if merged is not None else ""
+
+    def _metrics_snapshot(self, manifest: RunManifest,
+                          session: TraceSession | None) -> dict:
+        """The metrics registry, enriched with run-level aggregates."""
+        registry = get_metrics()
+        registry.gauge("cache.hit_rate").set(manifest.hit_rate)
+        if session is not None and session.trace_path is not None:
+            try:
+                trace = json.loads(session.trace_path.read_text())
+                for pid, fraction in worker_utilization(trace).items():
+                    registry.gauge(
+                        f"worker.utilization.{pid}").set(fraction)
+            except (OSError, ValueError):
+                pass
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
     # serial supervised execution

@@ -1,0 +1,108 @@
+"""Merge per-process JSONL event files into one run trace.
+
+Each process's file opens with a meta record anchoring its monotonic
+clock (``mono``) to the wall clock (``wall``).  Merging rewrites every
+event's timestamp onto the unified timeline::
+
+    uts = meta.wall + (ts - meta.mono)
+
+which is comparable across processes to wall-clock accuracy — good
+enough to order stages and attempts, and immune to each process having
+its own monotonic epoch.  Files from crashed workers may end in a torn
+final line (the tracer writes line-buffered, so at most one line can be
+partial); such lines are counted and skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["merge_event_files", "read_event_file", "write_merged_trace"]
+
+TRACE_SCHEMA = 1
+
+
+def read_event_file(path: Path | str) -> tuple[list[dict], int]:
+    """Parse one per-process JSONL file onto the unified timeline.
+
+    Returns ``(events, skipped)`` where *skipped* counts unparseable
+    lines (torn tails from crashed workers, stray garbage).  Events get
+    a ``uts`` unified timestamp; the meta anchor line itself is not
+    included in the returned events.
+    """
+    events: list[dict] = []
+    skipped = 0
+    wall = mono = None
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return events, 1
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
+        if record.get("type") == "meta":
+            wall = record.get("wall")
+            mono = record.get("mono")
+            continue
+        ts = record.get("ts")
+        if wall is not None and mono is not None and isinstance(ts, (int, float)):
+            record["uts"] = wall + (ts - mono)
+        else:
+            skipped += 1
+            continue
+        events.append(record)
+    return events, skipped
+
+
+def merge_event_files(paths: Iterable[Path | str]) -> dict:
+    """Merge per-process files into a single trace document.
+
+    The result is ``{"schema", "events", "processes", "skipped_lines"}``
+    with events sorted by unified timestamp (stable, so same-timestamp
+    events keep file order).
+    """
+    events: list[dict] = []
+    skipped = 0
+    processes: list[int] = []
+    for path in sorted(Path(p) for p in paths):
+        file_events, file_skipped = read_event_file(path)
+        skipped += file_skipped
+        events.extend(file_events)
+        for event in file_events:
+            pid = event.get("pid")
+            if isinstance(pid, int) and pid not in processes:
+                processes.append(pid)
+    events.sort(key=lambda event: event.get("uts", 0.0))
+    return {
+        "schema": TRACE_SCHEMA,
+        "processes": sorted(processes),
+        "skipped_lines": skipped,
+        "events": events,
+    }
+
+
+def write_merged_trace(run_dir: Path | str, *,
+                       pattern: str = "events-*.jsonl") -> Path:
+    """Merge all event files under *run_dir* into ``trace.json``.
+
+    The merged file is written atomically (tmp + replace) so a reader
+    never observes a half-written trace.
+    """
+    run_dir = Path(run_dir)
+    trace = merge_event_files(run_dir.glob(pattern))
+    target = run_dir / "trace.json"
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(trace, separators=(",", ":"), default=str))
+    tmp.replace(target)
+    return target

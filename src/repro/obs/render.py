@@ -1,0 +1,235 @@
+"""Trace consumers: span-tree reconstruction and rendering.
+
+Works on the merged trace document produced by :mod:`repro.obs.merge`.
+Span begin/end records are paired by ``(pid, sid)`` and nested by the
+recorded ``parent`` id; spans whose end record never arrived (crashed
+worker) are closed at the last timestamp seen for that process so the
+tree still renders.
+
+Consumers:
+
+* :func:`format_tree` — indented per-span wall-clock tree.
+* :func:`format_summary` — per-stage aggregates, the critical path,
+  and worker utilization.
+* :func:`to_chrome` — Chrome trace-event JSON (B/E/i phases, micro-
+  second timestamps) loadable in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SpanNode",
+    "build_spans",
+    "chrome_json",
+    "critical_path",
+    "format_summary",
+    "format_tree",
+    "stage_totals",
+    "to_chrome",
+    "worker_utilization",
+]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with resolved children."""
+
+    name: str
+    pid: int
+    tid: int
+    sid: int
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+def build_spans(trace: dict) -> list[SpanNode]:
+    """Reconstruct the span forest from a merged trace document."""
+    events = trace.get("events", [])
+    by_sid: dict[tuple, SpanNode] = {}
+    roots: list[SpanNode] = []
+    last_ts: dict[int, float] = {}
+    for event in events:
+        pid = event.get("pid", 0)
+        uts = event.get("uts", 0.0)
+        last_ts[pid] = max(last_ts.get(pid, uts), uts)
+        kind = event.get("type")
+        if kind == "B":
+            node = SpanNode(
+                name=event.get("name", "?"), pid=pid,
+                tid=event.get("tid", 0), sid=event.get("sid", -1),
+                start=uts, attrs=dict(event.get("attrs") or {}))
+            by_sid[(pid, node.sid)] = node
+            parent = by_sid.get((pid, event.get("parent")))
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        elif kind == "E":
+            node = by_sid.get((pid, event.get("sid")))
+            if node is not None:
+                node.end = uts
+                node.attrs.update(event.get("attrs") or {})
+    for node in by_sid.values():
+        if node.end is None:  # crashed before closing: clamp to last seen
+            node.end = last_ts.get(node.pid, node.start)
+            node.truncated = True
+    roots.sort(key=lambda node: node.start)
+    return roots
+
+
+def _walk(nodes: list[SpanNode], depth: int = 0):
+    for node in nodes:
+        yield node, depth
+        yield from _walk(node.children, depth + 1)
+
+
+def _attr_brief(attrs: dict, limit: int = 3) -> str:
+    shown = [f"{key}={value}" for key, value in list(attrs.items())[:limit]]
+    return f" [{', '.join(shown)}]" if shown else ""
+
+
+def format_tree(trace: dict, *, max_depth: int | None = None) -> str:
+    """Indented wall-clock span tree of the whole run."""
+    roots = build_spans(trace)
+    if not roots:
+        return "(empty trace)"
+    lines = []
+    for node, depth in _walk(roots):
+        if max_depth is not None and depth > max_depth:
+            continue
+        marker = " !" if node.truncated else ""
+        lines.append(
+            f"{'  ' * depth}{node.name:<{max(1, 40 - 2 * depth)}} "
+            f"{node.duration * 1000.0:>10.1f} ms  pid={node.pid}"
+            f"{_attr_brief(node.attrs)}{marker}")
+    return "\n".join(lines)
+
+
+def stage_totals(trace: dict) -> dict[str, dict]:
+    """Aggregate wall-clock by span name: count, total, max seconds."""
+    totals: dict[str, dict] = {}
+    for node, _depth in _walk(build_spans(trace)):
+        entry = totals.setdefault(
+            node.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += node.duration
+        entry["max_s"] = max(entry["max_s"], node.duration)
+    return totals
+
+
+def critical_path(trace: dict) -> list[SpanNode]:
+    """Longest root span, descending into the longest child at each level."""
+    roots = build_spans(trace)
+    path: list[SpanNode] = []
+    nodes = roots
+    while nodes:
+        longest = max(nodes, key=lambda node: node.duration)
+        path.append(longest)
+        nodes = longest.children
+    return path
+
+
+def worker_utilization(trace: dict) -> dict[int, float]:
+    """Fraction of the run each process spent inside root spans.
+
+    Root spans per pid are merged into disjoint busy intervals and
+    divided by the overall run extent, so overlapping/nested spans are
+    not double-counted.
+    """
+    events = trace.get("events", [])
+    if not events:
+        return {}
+    run_start = min(event.get("uts", 0.0) for event in events)
+    run_end = max(event.get("uts", 0.0) for event in events)
+    extent = max(run_end - run_start, 1e-9)
+    intervals: dict[int, list[tuple[float, float]]] = {}
+    for node in build_spans(trace):
+        end = node.end if node.end is not None else node.start
+        intervals.setdefault(node.pid, []).append((node.start, end))
+    utilization: dict[int, float] = {}
+    for pid, spans in intervals.items():
+        spans.sort()
+        busy = 0.0
+        cursor: float | None = None
+        limit: float | None = None
+        for start, end in spans:
+            if cursor is None or start > limit:
+                if cursor is not None:
+                    busy += limit - cursor
+                cursor, limit = start, end
+            else:
+                limit = max(limit, end)
+        if cursor is not None:
+            busy += limit - cursor
+        utilization[pid] = busy / extent
+    return utilization
+
+
+def format_summary(trace: dict) -> str:
+    """Per-stage table + critical path + worker utilization."""
+    totals = stage_totals(trace)
+    lines = ["span                                    count   total(s)     max(s)",
+             "-" * 68]
+    for name, entry in sorted(totals.items(),
+                              key=lambda item: -item[1]["total_s"]):
+        lines.append(f"{name:<38} {entry['count']:>6} "
+                     f"{entry['total_s']:>10.3f} {entry['max_s']:>10.3f}")
+    path = critical_path(trace)
+    if path:
+        lines.append("")
+        lines.append("critical path:")
+        for index, node in enumerate(path):
+            lines.append(f"{'  ' * index}-> {node.name} "
+                         f"({node.duration * 1000.0:.1f} ms, pid={node.pid})")
+    utilization = worker_utilization(trace)
+    if utilization:
+        lines.append("")
+        lines.append("worker utilization:")
+        for pid, fraction in sorted(utilization.items()):
+            lines.append(f"  pid {pid:<8} {fraction * 100.0:5.1f}%")
+    skipped = trace.get("skipped_lines", 0)
+    if skipped:
+        lines.append("")
+        lines.append(f"({skipped} unparseable trace line(s) skipped)")
+    return "\n".join(lines)
+
+
+def to_chrome(trace: dict) -> dict:
+    """Chrome trace-event format (Perfetto-loadable) from a merged trace."""
+    events = trace.get("events", [])
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(event.get("uts", 0.0) for event in events)
+    chrome: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("type")
+        base = {
+            "name": event.get("name", "?"),
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", event.get("pid", 0)),
+            "ts": (event.get("uts", origin) - origin) * 1e6,
+        }
+        if kind == "B":
+            chrome.append({**base, "ph": "B", "args": event.get("attrs") or {}})
+        elif kind == "E":
+            chrome.append({**base, "ph": "E"})
+        elif kind in ("I", "hb"):
+            chrome.append({**base, "ph": "i", "s": "p",
+                           "args": event.get("attrs") or {}})
+    return {"traceEvents": chrome, "displayTimeUnit": "ms"}
+
+
+def chrome_json(trace: dict) -> str:
+    """Serialized :func:`to_chrome` output."""
+    return json.dumps(to_chrome(trace), separators=(",", ":"), default=str)

@@ -48,6 +48,10 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Mapping
 
+from repro.obs.metrics import get_metrics
+from repro.obs.session import OBS_DIR_NAME
+from repro.obs.tracer import get_tracer
+
 #: bump when the simulation/power models change to invalidate cached
 #: artifacts (the old whole-experiment sweep cache used the same knob)
 MODEL_VERSION = 11
@@ -227,6 +231,16 @@ class ArtifactStore:
         if self.faults is not None:
             self.faults.corrupt_file("artifact.write",
                                      f"{stage}/{fingerprint}", path)
+        self._observe("write", stage, fingerprint, bytes=len(text))
+
+    def _observe(self, kind: str, stage: str, fingerprint: str,
+                 **attrs: Any) -> None:
+        """Emit one artifact cache event (hit/miss/corrupt) + counter."""
+        attrs = {key: value for key, value in attrs.items()
+                 if value is not None}
+        get_tracer().event(f"artifact.{kind}", stage=stage,
+                           fingerprint=fingerprint, **attrs)
+        get_metrics().counter(f"artifact.{kind}").inc()
 
     def remember(self, stage: str, fingerprint: str, value: Any) -> None:
         """Memoize a live value without touching disk or counters."""
@@ -243,7 +257,8 @@ class ArtifactStore:
                              json.dumps(payload, sort_keys=True))
 
     def peek_json(self, stage: str, fingerprint: str,
-                  decode: Callable[[Any], Any] | None = None) -> Any:
+                  decode: Callable[[Any], Any] | None = None,
+                  label: str | None = None) -> Any:
         """Cache-only lookup: a hit counts, an absence counts nothing.
 
         Used by schedulers that probe for cached results before fanning
@@ -253,6 +268,8 @@ class ArtifactStore:
         key = (stage, fingerprint)
         if key in self._memory:
             self._stats[stage].hits += 1
+            self._observe("hit", stage, fingerprint, source="memory",
+                          label=label)
             return self._memory[key]
         path = self.json_path(stage, fingerprint)
         if path is not None and path.exists():
@@ -266,9 +283,12 @@ class ArtifactStore:
                 value = decode(payload) if decode is not None else payload
             except Exception:
                 self._stats[stage].corrupt += 1
+                self._observe("corrupt", stage, fingerprint, label=label)
                 path.unlink(missing_ok=True)
                 return None
             self._stats[stage].hits += 1
+            self._observe("hit", stage, fingerprint, source="disk",
+                          label=label)
             self._memory[key] = value
             return value
         return None
@@ -283,14 +303,16 @@ class ArtifactStore:
                    compute: Callable[[], Any],
                    encode: Callable[[Any], Any] | None = None,
                    decode: Callable[[Any], Any] | None = None,
-                   fallback: Callable[[], Any] | None = None) -> Any:
+                   fallback: Callable[[], Any] | None = None,
+                   label: str | None = None) -> Any:
         """Load-or-compute one JSON artifact, with full accounting.
 
         ``fallback`` (optional) is consulted after a cache miss but
         before recomputation — the hook the sweep runner uses to migrate
         results from the legacy whole-experiment cache layout.
         """
-        value = self.peek_json(stage, fingerprint, decode=decode)
+        value = self.peek_json(stage, fingerprint, decode=decode,
+                               label=label)
         if value is not None:
             return value
         if fallback is not None:
@@ -299,13 +321,18 @@ class ArtifactStore:
                 self.import_legacy(stage, fingerprint, value, encode=encode)
                 return value
         self._stats[stage].misses += 1
+        self._observe("miss", stage, fingerprint, label=label)
         if self.faults is not None:
             self.faults.inject(f"stage.{stage}", fingerprint)
         started = perf_counter()
-        value = compute()
+        with get_tracer().span(f"stage.{stage}", fingerprint=fingerprint,
+                               **({"label": label} if label else {})):
+            value = compute()
         stats = self._stats[stage]
         stats.executions += 1
-        stats.seconds += perf_counter() - started
+        elapsed = perf_counter() - started
+        stats.seconds += elapsed
+        get_metrics().histogram(f"stage.{stage}.seconds").observe(elapsed)
         self.put_json(stage, fingerprint, value, encode=encode)
         return value
 
@@ -326,7 +353,8 @@ class ArtifactStore:
     def fetch_dir(self, stage: str, fingerprint: str,
                   compute: Callable[[], Any],
                   save: Callable[[Path, Any], Any],
-                  load: Callable[[Path], Any]) -> Any:
+                  load: Callable[[Path], Any],
+                  label: str | None = None) -> Any:
         """Load-or-compute one directory-shaped artifact.
 
         Used for checkpoint sets, which keep their established
@@ -338,6 +366,8 @@ class ArtifactStore:
         key = (stage, fingerprint)
         if key in self._memory:
             self._stats[stage].hits += 1
+            self._observe("hit", stage, fingerprint, source="memory",
+                          label=label)
             return self._memory[key]
         path = self.dir_path(stage, fingerprint)
         if path is not None and path.exists():
@@ -345,19 +375,27 @@ class ArtifactStore:
                 value = load(path)
             except Exception:
                 self._stats[stage].corrupt += 1
+                self._observe("corrupt", stage, fingerprint, label=label)
                 shutil.rmtree(path, ignore_errors=True)
             else:
                 self._stats[stage].hits += 1
+                self._observe("hit", stage, fingerprint, source="disk",
+                              label=label)
                 self._memory[key] = value
                 return value
         self._stats[stage].misses += 1
+        self._observe("miss", stage, fingerprint, label=label)
         if self.faults is not None:
             self.faults.inject(f"stage.{stage}", fingerprint)
         started = perf_counter()
-        value = compute()
+        with get_tracer().span(f"stage.{stage}", fingerprint=fingerprint,
+                               **({"label": label} if label else {})):
+            value = compute()
         stats = self._stats[stage]
         stats.executions += 1
-        stats.seconds += perf_counter() - started
+        elapsed = perf_counter() - started
+        stats.seconds += elapsed
+        get_metrics().histogram(f"stage.{stage}.seconds").observe(elapsed)
         if path is not None:
             # build the directory next to its final home, then promote
             # it atomically — a crash mid-save leaves only a tmp tree
@@ -367,6 +405,7 @@ class ArtifactStore:
                 shutil.rmtree(tmp)
             save(tmp, value)
             atomic_replace_dir(tmp, path)
+            self._observe("write", stage, fingerprint, label=label)
         self._memory[key] = value
         return value
 
@@ -380,8 +419,8 @@ class ArtifactStore:
         if self.root is None or not self.root.exists():
             return counts
         for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir():
-                continue
+            if not stage_dir.is_dir() or stage_dir.name == OBS_DIR_NAME:
+                continue  # trace runs live beside artifacts, not in them
             number = 0
             size = 0
             for entry in stage_dir.iterdir():
@@ -419,7 +458,7 @@ class ArtifactStore:
         stages = {key[0] for key in self._memory}
         if self.root is not None and self.root.exists():
             stages.update(entry.name for entry in self.root.iterdir()
-                          if entry.is_dir())
+                          if entry.is_dir() and entry.name != OBS_DIR_NAME)
         for stage in stages:
             removed += self.invalidate_stage(stage)
         for path in self.legacy_files():

@@ -49,6 +49,37 @@ class TaskRecord:
                    error=data["error"], attempts=data.get("attempts", 1))
 
 
+@dataclass(frozen=True)
+class TaskExecution:
+    """Where and when one scheduled task actually ran (successfully).
+
+    Captured by the scheduler's task envelope so degraded-run triage —
+    which worker ran what, when, after how many attempts — needs only
+    the manifest, not the full trace file.
+    """
+
+    key: str            # task identity, e.g. "qsort/MediumBOOM"
+    pid: int            # worker process id
+    started: float      # wall-clock (epoch seconds) at attempt start
+    ended: float        # wall-clock at attempt end
+    attempts: int = 1   # attempts consumed including the successful one
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.started
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "pid": self.pid, "started": self.started,
+                "ended": self.ended, "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TaskExecution":
+        return cls(key=data["key"], pid=data.get("pid", 0),
+                   started=data.get("started", 0.0),
+                   ended=data.get("ended", 0.0),
+                   attempts=data.get("attempts", 1))
+
+
 @dataclass
 class RunManifest:
     """Stage-level accounting for one scheduler run."""
@@ -60,6 +91,9 @@ class RunManifest:
     failures: list[TaskRecord] = field(default_factory=list)
     timeouts: list[TaskRecord] = field(default_factory=list)
     retries: dict[str, int] = field(default_factory=dict)
+    tasks: list[TaskExecution] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    trace: str = ""     # merged trace path for this run, if traced
 
     @classmethod
     def delta(cls, before: Mapping[str, StageStats],
@@ -68,7 +102,10 @@ class RunManifest:
               experiments: int = 0,
               failures: list[TaskRecord] | None = None,
               timeouts: list[TaskRecord] | None = None,
-              retries: Mapping[str, int] | None = None) -> "RunManifest":
+              retries: Mapping[str, int] | None = None,
+              tasks: list[TaskExecution] | None = None,
+              metrics: Mapping | None = None,
+              trace: str = "") -> "RunManifest":
         """Manifest covering the work done between two stats snapshots."""
         stages: dict[str, StageStats] = {}
         for stage, stats in after.items():
@@ -80,7 +117,10 @@ class RunManifest:
                    experiments=experiments,
                    failures=list(failures or ()),
                    timeouts=list(timeouts or ()),
-                   retries=dict(retries or {}))
+                   retries=dict(retries or {}),
+                   tasks=list(tasks or ()),
+                   metrics=dict(metrics or {}),
+                   trace=trace)
 
     # ------------------------------------------------------------------
     # aggregates
@@ -133,6 +173,9 @@ class RunManifest:
             "failures": [record.to_dict() for record in self.failures],
             "timeouts": [record.to_dict() for record in self.timeouts],
             "retries": dict(sorted(self.retries.items())),
+            "tasks": [record.to_dict() for record in self.tasks],
+            "metrics": self.metrics,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -147,7 +190,11 @@ class RunManifest:
                       for record in data.get("failures", [])],
             timeouts=[TaskRecord.from_dict(record)
                       for record in data.get("timeouts", [])],
-            retries=dict(data.get("retries", {})))
+            retries=dict(data.get("retries", {})),
+            tasks=[TaskExecution.from_dict(record)
+                   for record in data.get("tasks", [])],
+            metrics=dict(data.get("metrics", {})),
+            trace=data.get("trace", ""))
 
     def format(self) -> str:
         """Fixed-width stage-accounting table."""

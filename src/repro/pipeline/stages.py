@@ -37,6 +37,8 @@ from repro.checkpoint.checkpoint import Checkpoint
 from repro.checkpoint.creator import create_checkpoints
 from repro.checkpoint.store import load_checkpoints, save_checkpoints
 from repro.errors import CorruptArtifactError
+from repro.obs.heartbeat import HeartbeatEmitter
+from repro.obs.tracer import get_tracer
 from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
 
 # NOTE: repro.flow.results is imported lazily inside the functions that
@@ -208,14 +210,32 @@ def simulate_raw_runs(config: BoomConfig, program,
     the complete measured :class:`CoreStats` so the power stage can be
     recomputed (or re-calibrated) without re-running the detailed core.
     """
+    tracer = get_tracer()
     raw: list[dict] = []
     for checkpoint in checkpoints:
-        core = BoomCore(config, program, state=checkpoint.restore())
-        if checkpoint.warmup_instructions:
-            core.run(checkpoint.warmup_instructions)
-        stats = core.begin_measurement()
-        window = checkpoint.measure_instructions or interval_size
-        measured = core.run(window)
+        heartbeat = None
+        emitter = None
+        if tracer.enabled:
+            window_hint = checkpoint.measure_instructions or interval_size
+            emitter = HeartbeatEmitter(
+                tracer, "core.instr", units="instructions",
+                total=checkpoint.warmup_instructions + window_hint,
+                workload=program.name, config=config.name,
+                checkpoint=checkpoint.interval_index)
+            heartbeat = lambda retired, cycles: emitter(retired,
+                                                        cycles=cycles)
+        with tracer.span("detailed_sim.checkpoint",
+                         workload=program.name, config=config.name,
+                         checkpoint=checkpoint.interval_index):
+            core = BoomCore(config, program, state=checkpoint.restore())
+            if checkpoint.warmup_instructions:
+                core.run(checkpoint.warmup_instructions,
+                         heartbeat=heartbeat)
+            stats = core.begin_measurement()
+            window = checkpoint.measure_instructions or interval_size
+            measured = core.run(window, heartbeat=heartbeat)
+        if emitter is not None:
+            emitter.finish(checkpoint.warmup_instructions + measured)
         raw.append({
             "interval_index": checkpoint.interval_index,
             "weight": checkpoint.weight,
@@ -356,14 +376,16 @@ class ExperimentPipeline:
             PROFILE_STAGE, self.profile_fingerprint(workload),
             compute=lambda: compute_profile(workload, self.settings,
                                             self.program(workload)),
-            encode=profile_to_dict, decode=profile_from_dict)
+            encode=profile_to_dict, decode=profile_from_dict,
+            label=workload)
 
     def selection(self, workload: str) -> SimPointSelection:
         return self.store.fetch_json(
             SELECTION_STAGE, self.selection_fingerprint(workload),
             compute=lambda: compute_selection(self.profile(workload),
                                               self.settings),
-            encode=selection_to_dict, decode=selection_from_dict)
+            encode=selection_to_dict, decode=selection_from_dict,
+            label=workload)
 
     def checkpoints(self, workload: str) -> list[Checkpoint]:
         return self.store.fetch_dir(
@@ -371,7 +393,8 @@ class ExperimentPipeline:
             compute=lambda: compute_checkpoints(
                 workload, self.settings, self.selection(workload),
                 self.program(workload)),
-            save=save_checkpoints, load=load_checkpoints)
+            save=save_checkpoints, load=load_checkpoints,
+            label=workload)
 
     def detailed(self, workload: str, config: BoomConfig) -> list[dict]:
         def compute() -> list[dict]:
@@ -383,7 +406,7 @@ class ExperimentPipeline:
 
         return self.store.fetch_json(
             DETAILED_STAGE, self.detailed_fingerprint(workload, config),
-            compute=compute)
+            compute=compute, label=f"{workload}/{config.name}")
 
     def power_runs(self, workload: str,
                    config: BoomConfig) -> list[SimPointRun]:
@@ -396,7 +419,8 @@ class ExperimentPipeline:
             encode=lambda runs: [run.to_dict() for run in runs],
             decode=lambda payload: [
                 SimPointRun.from_dict(run, config.name, workload)
-                for run in payload])
+                for run in payload],
+            label=f"{workload}/{config.name}")
 
     def result(self, workload: str, config: BoomConfig,
                fallback: Any = None) -> ExperimentResult:
@@ -410,7 +434,7 @@ class ExperimentPipeline:
                 self.power_runs(workload, config)),
             encode=lambda result: result.to_dict(),
             decode=ExperimentResult.from_dict,
-            fallback=fallback)
+            fallback=fallback, label=f"{workload}/{config.name}")
 
     # --------------------------- scheduling ---------------------------
 

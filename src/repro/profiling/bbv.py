@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.errors import SimPointError
 from repro.isa.program import Program
+from repro.obs.heartbeat import HeartbeatEmitter, wrap_control_hook
+from repro.obs.tracer import get_tracer
 from repro.sim.executor import Executor
 
 
@@ -129,7 +131,21 @@ class BBVProfiler:
                 filled = 0
 
         executor = Executor(program)
-        executor.run(max_instructions=max_instructions, control_hook=hook)
+        run_hook = hook
+        emitter = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            # wrap (never replace) the profiling hook: block boundaries
+            # and interval contents are untouched, so the traced profile
+            # is byte-identical to the untraced one
+            emitter = HeartbeatEmitter(tracer, "functional.instr",
+                                       units="instructions",
+                                       workload=program.name)
+            run_hook = wrap_control_hook(hook, emitter)
+        executor.run(max_instructions=max_instructions,
+                     control_hook=run_hook)
+        if emitter is not None:
+            emitter.finish(executor.state.retired)
         if filled:
             vectors.append(current)
             lengths.append(filled)

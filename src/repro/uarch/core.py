@@ -42,6 +42,7 @@ from repro.uarch.uop import COMPLETED, ISSUED, Uop
 
 _FORWARD_LATENCY = 4
 _SAFETY_FACTOR = 400  # max cycles per requested instruction before we bail
+_HEARTBEAT_STRIDE = 4096  # cycles between heartbeat-observer callbacks
 
 
 class BoomCore:
@@ -107,30 +108,62 @@ class BoomCore:
     # the cycle loop
     # ------------------------------------------------------------------
 
-    def run(self, max_instructions: int | None = None) -> int:
+    def run(self, max_instructions: int | None = None,
+            heartbeat=None) -> int:
         """Advance the pipeline until ``max_instructions`` retire.
 
         Without a budget, runs until the program exits and the pipeline
         drains.  Returns the number of instructions retired by this call.
+
+        ``heartbeat`` (optional) is a progress observer called as
+        ``heartbeat(retired_this_call, cycles_this_call)`` every
+        ``_HEARTBEAT_STRIDE`` cycles.  It only reads the counters — the
+        loop's termination conditions and step sequence are identical
+        with and without it, so a traced run retires exactly the same
+        instructions as an untraced one.  The ``heartbeat is None`` path
+        is the original loop, untouched, to keep the hot path free of
+        per-cycle bookkeeping.
         """
         start = self.retired_total
+        start_cycle = self.cycle
         target = None if max_instructions is None \
             else start + max_instructions
         budget = max_instructions if max_instructions is not None \
             else 1 << 40
         deadline = self.cycle + _SAFETY_FACTOR * (budget + 64)
         try:
-            while True:
-                if target is not None and self.retired_total >= target:
-                    break
-                if self.frontend.out_of_instructions and self.rob.is_empty:
-                    break
-                self._step()
-                if self.cycle > deadline:
-                    raise SimulationError(
-                        f"pipeline made no progress for {_SAFETY_FACTOR}x "
-                        f"the instruction budget (deadlock?) at cycle "
-                        f"{self.cycle}")
+            if heartbeat is None:
+                while True:
+                    if target is not None and self.retired_total >= target:
+                        break
+                    if self.frontend.out_of_instructions \
+                            and self.rob.is_empty:
+                        break
+                    self._step()
+                    if self.cycle > deadline:
+                        raise SimulationError(
+                            f"pipeline made no progress for "
+                            f"{_SAFETY_FACTOR}x the instruction budget "
+                            f"(deadlock?) at cycle {self.cycle}")
+            else:
+                countdown = _HEARTBEAT_STRIDE
+                while True:
+                    if target is not None and self.retired_total >= target:
+                        break
+                    if self.frontend.out_of_instructions \
+                            and self.rob.is_empty:
+                        break
+                    self._step()
+                    countdown -= 1
+                    if countdown == 0:
+                        countdown = _HEARTBEAT_STRIDE
+                        heartbeat(self.retired_total - start,
+                                  self.cycle - start_cycle)
+                    if self.cycle > deadline:
+                        raise SimulationError(
+                            f"pipeline made no progress for "
+                            f"{_SAFETY_FACTOR}x the instruction budget "
+                            f"(deadlock?) at cycle {self.cycle}")
         finally:
             # Issue-queue occupancy is sampled into histograms per cycle;
             # fold them into the stats counters whenever control leaves

@@ -1,0 +1,82 @@
+"""Tests for cross-process trace merging, including crashed workers."""
+
+import json
+
+from repro.obs.merge import (
+    merge_event_files,
+    read_event_file,
+    write_merged_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _write_events(path, pid, wall, mono, records):
+    lines = [json.dumps({"type": "meta", "pid": pid, "role": "worker",
+                         "wall": wall, "mono": mono})]
+    lines += [json.dumps(r) for r in records]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def test_unified_timestamps_across_epochs(tmp_path):
+    # two processes with wildly different monotonic epochs; events that
+    # actually interleave in wall time must interleave after the merge
+    a = tmp_path / "events-100.jsonl"
+    b = tmp_path / "events-200.jsonl"
+    _write_events(a, 100, wall=1000.0, mono=5.0, records=[
+        {"type": "I", "name": "first", "ts": 5.0, "pid": 100, "attrs": {}},
+        {"type": "I", "name": "third", "ts": 7.0, "pid": 100, "attrs": {}},
+    ])
+    _write_events(b, 200, wall=1000.0, mono=9000.0, records=[
+        {"type": "I", "name": "second", "ts": 9001.0, "pid": 200,
+         "attrs": {}},
+    ])
+    trace = merge_event_files([a, b])
+    assert [e["name"] for e in trace["events"]] == \
+        ["first", "second", "third"]
+    assert trace["processes"] == [100, 200]
+    assert trace["skipped_lines"] == 0
+    uts = [e["uts"] for e in trace["events"]]
+    assert uts == sorted(uts)
+
+
+def test_crashed_worker_torn_tail_is_skipped(tmp_path):
+    path = tmp_path / "events-300.jsonl"
+    _write_events(path, 300, wall=1000.0, mono=0.0, records=[
+        {"type": "I", "name": "ok", "ts": 1.0, "pid": 300, "attrs": {}},
+    ])
+    with open(path, "a") as handle:  # simulate a mid-write crash
+        handle.write('{"type":"I","name":"torn","ts":2.0,"pi')
+    events, skipped = read_event_file(path)
+    assert [e["name"] for e in events] == ["ok"]
+    assert skipped == 1
+
+
+def test_missing_meta_anchor_skips_events(tmp_path):
+    path = tmp_path / "events-400.jsonl"
+    path.write_text(json.dumps(
+        {"type": "I", "name": "orphan", "ts": 1.0, "pid": 400,
+         "attrs": {}}) + "\n")
+    events, skipped = read_event_file(path)
+    assert events == []
+    assert skipped == 1
+
+
+def test_write_merged_trace_from_live_tracers(tmp_path):
+    for fake_pid in (11, 12):
+        tracer = Tracer(tmp_path / f"events-{fake_pid}.jsonl")
+        with tracer.span("work", worker=fake_pid):
+            tracer.event("tick")
+        tracer.close()
+    target = write_merged_trace(tmp_path)
+    assert target == tmp_path / "trace.json"
+    trace = json.loads(target.read_text())
+    assert trace["schema"] == 1
+    names = [e["name"] for e in trace["events"]]
+    assert names.count("work") == 4  # B + E per process
+    assert trace["skipped_lines"] == 0
+
+
+def test_merge_tolerates_unreadable_file(tmp_path):
+    trace = merge_event_files([tmp_path / "events-nope.jsonl"])
+    assert trace["events"] == []
+    assert trace["skipped_lines"] == 1

@@ -1,0 +1,105 @@
+"""Tests for trace rendering: span trees, summaries, Chrome export."""
+
+import json
+
+from repro.obs.merge import merge_event_files
+from repro.obs.render import (
+    build_spans,
+    chrome_json,
+    critical_path,
+    format_summary,
+    format_tree,
+    stage_totals,
+    to_chrome,
+    worker_utilization,
+)
+from repro.obs.tracer import Tracer
+
+
+def _recorded_trace(tmp_path):
+    """A real two-span trace recorded through the tracer + merger."""
+    tracer = Tracer(tmp_path / "events-1.jsonl")
+    with tracer.span("task", key="prepare:qsort"):
+        with tracer.span("stage.bbv_profile", fingerprint="f00"):
+            tracer.event("artifact.miss", stage="bbv_profile")
+        tracer.heartbeat("functional.instr", value=10)
+    tracer.close()
+    return merge_event_files([tmp_path / "events-1.jsonl"])
+
+
+def test_build_spans_nesting(tmp_path):
+    roots = build_spans(_recorded_trace(tmp_path))
+    assert len(roots) == 1
+    task = roots[0]
+    assert task.name == "task"
+    assert task.attrs["key"] == "prepare:qsort"
+    assert [c.name for c in task.children] == ["stage.bbv_profile"]
+    assert not task.truncated
+    assert task.duration >= task.children[0].duration >= 0.0
+
+
+def test_unclosed_span_is_clamped_and_flagged():
+    trace = {"events": [
+        {"type": "B", "name": "doomed", "ts": 0.0, "uts": 10.0,
+         "pid": 5, "tid": 5, "sid": 1, "parent": None, "attrs": {}},
+        {"type": "I", "name": "later", "ts": 0.0, "uts": 12.0,
+         "pid": 5, "attrs": {}},
+    ]}
+    (node,) = build_spans(trace)
+    assert node.truncated
+    assert node.end == 12.0
+    assert "!" in format_tree(trace)
+
+
+def test_stage_totals_and_critical_path(tmp_path):
+    trace = _recorded_trace(tmp_path)
+    totals = stage_totals(trace)
+    assert totals["task"]["count"] == 1
+    assert totals["stage.bbv_profile"]["count"] == 1
+    path = [node.name for node in critical_path(trace)]
+    assert path == ["task", "stage.bbv_profile"]
+
+
+def test_worker_utilization_no_double_count():
+    # two overlapping root spans for one pid must merge, not sum
+    events = []
+    for sid, (start, end) in enumerate([(0.0, 6.0), (4.0, 8.0)], start=1):
+        events.append({"type": "B", "name": "task", "ts": 0.0, "uts": start,
+                       "pid": 9, "tid": 9, "sid": sid, "parent": None,
+                       "attrs": {}})
+        events.append({"type": "E", "name": "task", "ts": 0.0, "uts": end,
+                       "pid": 9, "tid": 9, "sid": sid})
+    events.sort(key=lambda e: e["uts"])
+    events.append({"type": "I", "name": "fin", "ts": 0.0, "uts": 10.0,
+                   "pid": 9, "attrs": {}})
+    util = worker_utilization({"events": events})
+    assert util[9] == (8.0 - 0.0) / 10.0
+
+
+def test_format_summary_mentions_skipped_lines(tmp_path):
+    trace = _recorded_trace(tmp_path)
+    trace["skipped_lines"] = 2
+    text = format_summary(trace)
+    assert "critical path" in text
+    assert "2 unparseable" in text
+
+
+def test_chrome_export_valid_json_matched_pairs(tmp_path):
+    trace = _recorded_trace(tmp_path)
+    doc = json.loads(chrome_json(trace))
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    begins = [e for e in events if e["ph"] == "B"]
+    ends = [e for e in events if e["ph"] == "E"]
+    assert len(begins) == len(ends) == 2
+    # B/E pair up per (pid, tid) in stack order with non-negative ts
+    assert all(e["ts"] >= 0 for e in events)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in instants} == \
+        {"artifact.miss", "functional.instr"}
+
+
+def test_chrome_export_empty_trace():
+    assert to_chrome({"events": []}) == \
+        {"traceEvents": [], "displayTimeUnit": "ms"}
+    assert format_tree({"events": []}) == "(empty trace)"
