@@ -44,9 +44,14 @@ class SweepComparison:
     deltas: list[WorkloadDelta] = field(default_factory=list)
 
     def average(self, metric: str) -> float:
+        # Empty on a fully-degraded sweep pair; 1.0 == "no change".
+        if not self.deltas:
+            return 1.0
         return mean(getattr(delta, metric) for delta in self.deltas)
 
     def average_component(self, name: str) -> float:
+        if not self.deltas:
+            return 1.0
         return mean(delta.component_ratios[name] for delta in self.deltas)
 
     def biggest_component_changes(self, count: int = 3) -> \

@@ -65,6 +65,8 @@ def format_component_power(series: dict[str, dict[str, float]],
                            title: str) -> str:
     """Render a Fig. 5/6/7 series as a component-by-workload table."""
     workloads = list(series)
+    if not workloads:
+        return f"{title}\n(no results for this configuration)"
     lines = [title,
              f"{'component (mW)':<18}" + "".join(f"{w[:8]:>9}"
                                                  for w in workloads)]
@@ -85,16 +87,28 @@ def format_component_power(series: dict[str, dict[str, float]],
 def fig8_issue_slots(results: ResultMap,
                      config_name: str = "MegaBOOM") -> \
         dict[str, list[float]]:
-    """Fig. 8: per-slot integer-IQ power for dijkstra vs sha (MegaBOOM)."""
+    """Fig. 8: per-slot integer-IQ power for dijkstra vs sha (MegaBOOM).
+
+    Degraded sweeps may be missing either workload; absent pairs are
+    simply omitted from the returned mapping.
+    """
     return {workload: results[(workload, config_name)].int_issue_slot_mw()
-            for workload in ("dijkstra", "sha")}
+            for workload in ("dijkstra", "sha")
+            if (workload, config_name) in results}
 
 
 def format_fig8(slots: dict[str, list[float]]) -> str:
-    lines = ["Fig. 8: per-slot Int Issue Queue power (mW), MegaBOOM",
-             f"{'slot':>5}{'dijkstra':>12}{'sha':>12}"]
-    for index, (d, s) in enumerate(zip(slots["dijkstra"], slots["sha"])):
-        lines.append(f"{index:>5}{d:>12.4f}{s:>12.4f}")
+    lines = ["Fig. 8: per-slot Int Issue Queue power (mW), MegaBOOM"]
+    workloads = [w for w in ("dijkstra", "sha") if w in slots]
+    if not workloads:
+        lines.append("(no results for dijkstra or sha)")
+        return "\n".join(lines)
+    lines.append(f"{'slot':>5}" + "".join(f"{w:>12}" for w in workloads))
+    for index in range(max(len(slots[w]) for w in workloads)):
+        cells = "".join(
+            f"{slots[w][index]:>12.4f}" if index < len(slots[w])
+            else f"{'-':>12}" for w in workloads)
+        lines.append(f"{index:>5}{cells}")
     return "\n".join(lines)
 
 
@@ -104,7 +118,9 @@ def fig9_component_share(results: ResultMap) -> dict[str, float]:
     for config_name in ("MediumBOOM", "LargeBOOM", "MegaBOOM"):
         rows = [results[(w, config_name)]
                 for w in _workloads(results, config_name)]
-        shares[config_name] = sum(r.analyzed_share for r in rows) / len(rows)
+        if rows:
+            shares[config_name] = (sum(r.analyzed_share for r in rows)
+                                   / len(rows))
     return shares
 
 
@@ -132,12 +148,18 @@ def format_per_benchmark(series: dict[str, dict[str, float]],
                          title: str, unit: str) -> str:
     """Render Fig. 10/11-style (config x benchmark) series."""
     configs = list(series)
-    workloads = list(series[configs[0]])
+    # Union of workloads across configs: a degraded sweep can have a
+    # benchmark on one configuration but not another.
+    workloads: list[str] = []
+    for config in configs:
+        workloads.extend(w for w in series[config] if w not in workloads)
     lines = [title,
              f"{'benchmark':<14}" + "".join(f"{c[:10]:>12}"
                                             for c in configs)]
     for workload in workloads:
-        cells = "".join(f"{series[c][workload]:>12.2f}" for c in configs)
+        cells = "".join(
+            f"{series[c][workload]:>12.2f}" if workload in series[c]
+            else f"{'-':>12}" for c in configs)
         lines.append(f"{workload:<14}{cells}")
     lines.append(f"(values in {unit})")
     return "\n".join(lines)

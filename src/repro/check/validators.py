@@ -1,0 +1,165 @@
+"""Semantic validators for power reports and experiment results.
+
+These check what JSON parsing cannot: that a result's *values* are
+physically possible.  They run at two boundaries of the sweep pipeline:
+
+load
+    A cached artifact that decodes but fails validation is a *skewed*
+    artifact — corrupted in place, or written by a buggy model version.
+    :func:`repro.check.validators` problems raised there become
+    :class:`~repro.errors.ResultValidationError` (transient), so the
+    artifact store discards and recomputes, exactly like a torn file.
+
+save
+    The same failure on a freshly computed result is a model bug:
+    recomputing reproduces it, so it raises :class:`CheckError`
+    (permanent) and the sweep records the failure instead of retrying.
+
+Everything here is duck-typed against :class:`ExperimentResult` /
+:class:`PowerReport` shapes (and their plain-dict forms) to avoid import
+cycles with the flow layer.
+
+The per-slot issue-queue powers (Fig. 8) use a different energy formula
+than the ``int_issue`` component total (slots model clock/write/wakeup
+per entry; the component adds the select tree, shift traffic, and gate
+clock), so they are checked structurally — non-negative, finite — plus a
+generous consistency band: the slot sum may not exceed a small multiple
+of the component total.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CheckError, ResultValidationError
+from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
+
+#: absolute slack (mW) for power comparisons
+_EPS_MW = 1e-9
+#: relative slack for weighted-sum identities
+_REL_TOL = 1e-6
+#: per-slot sums stay well under this multiple of the int_issue total
+#: (calibrated: real runs land near 0.5-0.9x; the slack allows model
+#: evolution without strangling it)
+_SLOT_SUM_BAND = 3.0
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def validate_report(report) -> list[str]:
+    """Validate one :class:`PowerReport`; returns problem strings."""
+    problems: list[str] = []
+    if report.cycles <= 0:
+        problems.append(f"cycles={report.cycles} is not positive")
+    missing = [name for name in (*ANALYZED_COMPONENTS, REST_OF_TILE)
+               if name not in report.components]
+    if missing:
+        problems.append(f"components missing: {', '.join(missing)}")
+    for name, component in report.components.items():
+        for field in ("leakage_mw", "internal_mw", "switching_mw"):
+            value = getattr(component, field)
+            if not _finite(value):
+                problems.append(f"{name}.{field}={value!r} is not finite")
+            elif value < 0.0:
+                problems.append(f"{name}.{field}={value} is negative")
+    if not problems:
+        analyzed = report.analyzed_mw
+        tile = report.tile_mw
+        if analyzed > tile * (1.0 + _REL_TOL) + _EPS_MW:
+            problems.append(
+                f"analyzed components sum to {analyzed} mW, more than "
+                f"the {tile} mW tile")
+    slot_sum = 0.0
+    for index, value in enumerate(report.int_issue_slot_mw):
+        if not _finite(value):
+            problems.append(f"int_issue_slot[{index}]={value!r} "
+                            f"is not finite")
+        elif value < 0.0:
+            problems.append(f"int_issue_slot[{index}]={value} is negative")
+        else:
+            slot_sum += value
+    if not problems and report.int_issue_slot_mw:
+        component = report.components.get("int_issue")
+        if component is not None:
+            total = component.total_mw
+            if slot_sum > _SLOT_SUM_BAND * total + _EPS_MW:
+                problems.append(
+                    f"per-slot issue powers sum to {slot_sum} mW, "
+                    f"inconsistent with the {total} mW int_issue "
+                    f"component")
+    return problems
+
+
+def _validate_run(run, index: int) -> list[str]:
+    problems: list[str] = []
+    where = f"runs[{index}]"
+    if not 0.0 <= run.weight <= 1.0 + _REL_TOL:
+        problems.append(f"{where}.weight={run.weight} outside [0, 1]")
+    if run.cycles <= 0:
+        problems.append(f"{where}.cycles={run.cycles} is not positive")
+    if run.measured_instructions < 0:
+        problems.append(f"{where}.measured_instructions="
+                        f"{run.measured_instructions} is negative")
+    if not _finite(run.ipc) or run.ipc < 0.0:
+        problems.append(f"{where}.ipc={run.ipc!r} is not a finite "
+                        f"non-negative number")
+    elif run.cycles > 0:
+        implied = run.ipc * run.cycles
+        slack = max(1.0, _REL_TOL * run.measured_instructions)
+        if abs(implied - run.measured_instructions) > slack:
+            problems.append(
+                f"{where}: ipc*cycles={implied:.3f} disagrees with "
+                f"measured_instructions={run.measured_instructions}")
+    problems.extend(f"{where}.report: {p}"
+                    for p in validate_report(run.report))
+    return problems
+
+
+def validate_result(result) -> list[str]:
+    """Validate one :class:`ExperimentResult`; returns problem strings."""
+    problems: list[str] = []
+    for field in ("scale", "coverage"):
+        value = getattr(result, field)
+        if not _finite(value):
+            problems.append(f"{field}={value!r} is not finite")
+    if not problems and not 0.0 <= result.coverage <= 1.0 + _REL_TOL:
+        problems.append(f"coverage={result.coverage} outside [0, 1]")
+    weight_total = 0.0
+    for index, run in enumerate(result.runs):
+        problems.extend(_validate_run(run, index))
+        if _finite(run.weight):
+            weight_total += run.weight
+    # SimPoint weights are cluster shares of the *covered* intervals:
+    # they must sum to (approximately) the reported coverage or, for
+    # fully-covered selections, to 1.
+    if not problems and result.runs:
+        if weight_total > 1.0 + _REL_TOL:
+            problems.append(f"SimPoint weights sum to {weight_total}, "
+                            f"more than 1")
+        elif weight_total < result.coverage - 1e-3:
+            problems.append(
+                f"SimPoint weights sum to {weight_total}, less than "
+                f"the reported coverage {result.coverage}")
+    return problems
+
+
+def require_valid_result(result, boundary: str = "save") -> None:
+    """Raise if ``result`` fails validation.
+
+    ``boundary`` selects the failure class: ``"load"`` raises the
+    transient :class:`ResultValidationError` (discard the artifact and
+    recompute), ``"save"`` raises the permanent :class:`CheckError` (the
+    model itself produced impossible values).
+    """
+    problems = validate_result(result)
+    if not problems:
+        return
+    head = "; ".join(problems[:5])
+    more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+    message = (f"result {result.workload}/{result.config_name} failed "
+               f"validation: {head}{more}")
+    if boundary == "load":
+        raise ResultValidationError(message)
+    raise CheckError(message)

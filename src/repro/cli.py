@@ -9,6 +9,8 @@ Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
     repro-cli takeaways --gshare
     repro-cli speedup
     repro-cli sweep --verbose --jobs 4
+    repro-cli --check sweep
+    repro-cli check dijkstra MediumBOOM
     repro-cli cache stats
     repro-cli cache invalidate --stage detailed_sim
     repro-cli bench --quick
@@ -393,6 +395,21 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.runner import run_check
+
+    runner = _runner(args)
+    exit_code = 0
+    for workload in args.workloads or ["dijkstra"]:
+        for config_name in args.configs or ["MediumBOOM"]:
+            report = run_check(workload, config_by_name(config_name),
+                               runner.settings, runner.store)
+            print(report.format())
+            if not report.ok:
+                exit_code = 1
+    return exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
@@ -434,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a structured trace of the run under "
                              "<cache>/obs/ (also via REPRO_TRACE=1); "
                              "render it with `repro-cli trace`")
+    parser.add_argument("--check", dest="runtime_checks",
+                        action="store_true",
+                        help="assert core invariants while simulating "
+                             "(also via REPRO_CHECK=1); artifacts stay "
+                             "byte-identical to an unchecked run")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("table1", help="print Table I").set_defaults(
@@ -570,12 +592,27 @@ def build_parser() -> argparse.ArgumentParser:
                               help="allowed fractional regression "
                                    "(default 0.30)")
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    check_parser = commands.add_parser(
+        "check", help="validate the models: invariants, differential "
+                      "re-execution, power/result validators")
+    check_parser.add_argument(
+        "workloads", nargs="*", metavar="workload",
+        help="workloads to validate (default: dijkstra)")
+    check_parser.add_argument(
+        "--configs", nargs="+", default=None, metavar="CONFIG",
+        help="configurations to validate (default: MediumBOOM)")
+    check_parser.set_defaults(handler=_cmd_check)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     setup_cli_logging(verbose=args.log_verbose, quiet=args.quiet)
+    if args.runtime_checks:
+        from repro.check import set_checks_enabled
+
+        set_checks_enabled(True)
     return args.handler(args)
 
 

@@ -86,6 +86,32 @@ class FlowError(ReproError):
     """End-to-end experiment pipeline misuse (missing stage outputs, etc.)."""
 
 
+class CheckError(ReproError):
+    """A :mod:`repro.check` validator found an inconsistency.
+
+    Deterministic by construction (the checkers read model state and
+    recompute conservation laws), so the failure class is *permanent*:
+    re-running reproduces the violation until the underlying bug is
+    fixed.
+    """
+
+
+class InvariantViolation(CheckError):
+    """A runtime conservation law failed inside the detailed core."""
+
+    def __init__(self, invariant: str, message: str,
+                 cycle: int | None = None) -> None:
+        self.invariant = invariant
+        self.cycle = cycle
+        where = f" at cycle {cycle}" if cycle is not None else ""
+        super().__init__(f"invariant {invariant!r} violated{where}: "
+                         f"{message}")
+
+
+class DifferentialMismatch(CheckError):
+    """Functional and detailed execution diverged from one checkpoint."""
+
+
 class TransientError(ReproError):
     """Environmental failure a retry can plausibly fix (I/O, lost worker).
 
@@ -97,6 +123,18 @@ class TransientError(ReproError):
 
 class CorruptArtifactError(TransientError):
     """A cached artifact failed to decode; recomputing replaces it."""
+
+
+class ResultValidationError(CorruptArtifactError):
+    """A decoded artifact parsed fine but failed semantic validation.
+
+    Raised at the result *load* boundary (see
+    :func:`repro.check.validators.validate_result`): a skewed artifact —
+    valid JSON carrying impossible values — is treated exactly like a
+    torn one: discarded and recomputed.  The same validation failure on
+    a freshly *computed* result raises :class:`CheckError` instead,
+    because recomputing a deterministic model reproduces it.
+    """
 
 
 class SchedulerError(ReproError):

@@ -44,22 +44,30 @@ def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
+def _mean_or_none(values: list[float]) -> float | None:
+    return mean(values) if values else None
+
+
 def _component_section(results: ResultMap) -> str:
     headers = ["Component (mW)", *_CONFIGS]
     rows = []
+    # component_power_series only emits workloads actually present for
+    # the config, so a degraded sweep just averages over fewer rows.
     series = {config: component_power_series(results, config)
               for config in _CONFIGS}
     for name in ANALYZED_COMPONENTS:
         cells = [COMPONENT_LABELS[name]]
         for config in _CONFIGS:
-            value = mean(series[config][w][name] for w in workload_names())
-            cells.append(f"{value:.2f}")
+            value = _mean_or_none(
+                [series[config][w][name] for w in series[config]])
+            cells.append(f"{value:.2f}" if value is not None else "-")
         rows.append(cells)
     tile = ["**Tile total**"]
     for config in _CONFIGS:
-        total = mean(results[(w, config)].tile_mw
-                     for w in workload_names())
-        tile.append(f"**{total:.1f}**")
+        total = _mean_or_none([results[(w, config)].tile_mw
+                               for w in workload_names()
+                               if (w, config) in results])
+        tile.append(f"**{total:.1f}**" if total is not None else "-")
     rows.append(tile)
     return _markdown_table(headers, rows)
 
@@ -71,6 +79,7 @@ def _per_benchmark_section(series: dict[str, dict[str, float]],
     for workload in workload_names():
         rows.append([workload,
                      *(fmt.format(series[config][workload])
+                       if workload in series.get(config, {}) else "-"
                        for config in _CONFIGS)])
     return _markdown_table(headers, rows)
 
@@ -104,11 +113,14 @@ def generate_report(runner: SweepRunner,
 
     sections.append("## Fig. 8 — integer IQ per-slot power, MegaBOOM\n")
     slots = fig8_issue_slots(results)
-    sections.append(
-        f"dijkstra: {sum(slots['dijkstra']):.2f} mW across "
-        f"{len(slots['dijkstra'])} slots; sha: {sum(slots['sha']):.2f} mW "
-        f"(IPC {results[('dijkstra', 'MegaBOOM')].ipc:.2f} vs "
-        f"{results[('sha', 'MegaBOOM')].ipc:.2f}).\n")
+    if "dijkstra" in slots and "sha" in slots:
+        sections.append(
+            f"dijkstra: {sum(slots['dijkstra']):.2f} mW across "
+            f"{len(slots['dijkstra'])} slots; sha: {sum(slots['sha']):.2f} "
+            f"mW (IPC {results[('dijkstra', 'MegaBOOM')].ipc:.2f} vs "
+            f"{results[('sha', 'MegaBOOM')].ipc:.2f}).\n")
+    else:
+        sections.append("(dijkstra/sha results missing for MegaBOOM)\n")
 
     sections.append("## Fig. 9 — analyzed-component share\n")
     shares = fig9_component_share(results)
@@ -127,16 +139,26 @@ def generate_report(runner: SweepRunner,
     sections.append("## Energy metrics (suite averages)\n")
     rows = []
     for config in _CONFIGS:
-        config_results = [results[(w, config)] for w in workload_names()]
-        epi = mean(energy_per_instruction_pj(r) for r in config_results)
-        edp = mean(energy_delay_product(r) for r in config_results)
-        rows.append([config, f"{epi:.1f}", f"{edp:.2f}"])
+        config_results = [results[(w, config)] for w in workload_names()
+                          if (w, config) in results]
+        # The metrics return None for zero-IPC results (satellite of the
+        # degraded-sweep story); average only the defined values.
+        epis = [v for v in map(energy_per_instruction_pj, config_results)
+                if v is not None]
+        edps = [v for v in map(energy_delay_product, config_results)
+                if v is not None]
+        epi = _mean_or_none(epis)
+        edp = _mean_or_none(edps)
+        rows.append([config,
+                     f"{epi:.1f}" if epi is not None else "-",
+                     f"{edp:.2f}" if edp is not None else "-"])
     sections.append(_markdown_table(
         ["Config", "pJ/instr", "EDP (pJ*ns)"], rows) + "\n")
 
     sections.append("## SimPoint speedup\n")
     speedup = speedup_report([results[(w, "MegaBOOM")]
-                              for w in workload_names()])
+                              for w in workload_names()
+                              if (w, "MegaBOOM") in results])
     sections.append("```\n" + speedup.format_table() + "\n```\n")
 
     sections.append("## Key takeaways\n")

@@ -9,10 +9,28 @@ serialize to plain dictionaries so sweeps can be cached on disk.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
 from repro.power.report import ComponentPower, PowerReport
+
+
+def _reject_non_finite(node, path: str) -> None:
+    """Fail with the offending key path if ``node`` holds NaN/inf.
+
+    ``json.dumps(allow_nan=False)`` would also refuse, but its error
+    doesn't say *which* value is bad; this walk does.
+    """
+    if isinstance(node, float):
+        if not math.isfinite(node):
+            raise ValueError(f"non-finite value at {path}: {node!r}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            _reject_non_finite(value, f"{path}.{key}")
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            _reject_non_finite(value, f"{path}[{index}]")
 
 
 @dataclass
@@ -146,13 +164,18 @@ class ExperimentResult:
         }
 
     def to_json(self) -> str:
-        """Canonical (sorted-key) JSON form.
+        """Canonical (sorted-key) strict-JSON form.
 
         Byte-identical for equal results regardless of how they were
         produced — the form the serial-vs-parallel determinism guarantee
-        is stated (and tested) in.
+        is stated (and tested) in.  ``allow_nan=False`` makes any
+        non-finite value a loud serialization error instead of emitting
+        ``NaN``/``Infinity`` tokens that no strict JSON parser (or the
+        artifact-store round trip) would accept.
         """
-        return json.dumps(self.to_dict(), sort_keys=True)
+        payload = self.to_dict()
+        _reject_non_finite(payload, f"{self.workload}/{self.config_name}")
+        return json.dumps(payload, sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":

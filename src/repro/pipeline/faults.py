@@ -32,6 +32,10 @@ Fault kinds:
 ``fail``     raise :class:`InjectedFailure` (*permanent* → recorded).
 ``corrupt``  after a write, replace the artifact file with garbage —
              exercises the corrupt-discard-recompute path.
+``skew``     after a write, keep the artifact as valid JSON but flip a
+             numeric leaf to a semantically impossible value (a negative
+             power) — exercises the :mod:`repro.check` validators, which
+             must catch what JSON decoding alone cannot.
 
 Specs are compact strings so they can ride inside the frozen
 :class:`~repro.flow.experiment.FlowSettings` and the ``REPRO_FAULTS``
@@ -68,7 +72,7 @@ from repro.errors import ReproError
 __all__ = ["FaultSpec", "FaultInjector", "InjectedFailure",
            "parse_fault_spec", "FAULT_KINDS", "FAULTS_ENV", "FAULT_SEED_ENV"]
 
-FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt")
+FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt", "skew")
 
 FAULTS_ENV = "REPRO_FAULTS"
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
@@ -248,9 +252,61 @@ class FaultInjector:
             f"injected permanent failure at {site} ({key})")
 
     def corrupt_file(self, site: str, key: str, path: Path) -> bool:
-        """Garble ``path`` if a ``corrupt`` fault fires; returns whether."""
-        spec = self.decide(site, key, kinds=("corrupt",))
+        """Damage ``path`` if a ``corrupt``/``skew`` fault fires.
+
+        ``corrupt`` leaves undecodable bytes (the JSON layer must catch
+        it); ``skew`` leaves *valid* JSON with a semantically impossible
+        value, which only the :mod:`repro.check` validators can catch.
+        Returns whether a fault fired.
+        """
+        spec = self.decide(site, key, kinds=("corrupt", "skew"))
         if spec is None:
             return False
-        path.write_text('{"injected": "corrupt artifact', encoding="utf-8")
+        if spec.kind == "corrupt":
+            path.write_text('{"injected": "corrupt artifact',
+                            encoding="utf-8")
+            return True
+        import json
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not (_skew_payload(payload)
+                or _negate_first_positive(payload)):
+            return False
+        path.write_text(json.dumps(payload, sort_keys=True),
+                        encoding="utf-8")
         return True
+
+
+def _negate_first_positive(node) -> bool:
+    """Flip the first positive numeric leaf negative; returns whether."""
+    items = node.items() if isinstance(node, dict) else enumerate(node) \
+        if isinstance(node, list) else ()
+    for key, value in items:
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)) and value > 0:
+            node[key] = -abs(float(value)) - 1.0
+            return True
+        if isinstance(value, (dict, list)) and _negate_first_positive(value):
+            return True
+    return False
+
+
+def _skew_payload(payload) -> bool:
+    """Make one value semantically impossible while keeping valid JSON.
+
+    Prefers a power-component entry (a negative component power is the
+    canonical "valid JSON, invalid physics" damage) and falls back to
+    the first positive numeric leaf anywhere in the document.
+    """
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == "components" and _negate_first_positive(value):
+                return True
+            if isinstance(value, (dict, list)) and _skew_payload(value):
+                return True
+    elif isinstance(payload, list):
+        for value in payload:
+            if isinstance(value, (dict, list)) and _skew_payload(value):
+                return True
+    return False

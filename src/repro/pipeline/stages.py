@@ -33,6 +33,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.check import checks_enabled
+from repro.check.invariants import CoreInvariantChecker
+from repro.check.validators import require_valid_result
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.checkpoint.creator import create_checkpoints
 from repro.checkpoint.store import load_checkpoints, save_checkpoints
@@ -228,12 +231,23 @@ def simulate_raw_runs(config: BoomConfig, program,
                          workload=program.name, config=config.name,
                          checkpoint=checkpoint.interval_index):
             core = BoomCore(config, program, state=checkpoint.restore())
+            checker = None
+            if checks_enabled():
+                # Invariants ride the heartbeat observer slot (chaining
+                # any tracing emitter), so a checked run takes the same
+                # loop as a traced one and produces byte-identical
+                # artifacts — REPRO_CHECK is deliberately not part of
+                # the stage fingerprint.
+                checker = CoreInvariantChecker(core, wrapped=heartbeat)
+                heartbeat = checker
             if checkpoint.warmup_instructions:
                 core.run(checkpoint.warmup_instructions,
                          heartbeat=heartbeat)
             stats = core.begin_measurement()
             window = checkpoint.measure_instructions or interval_size
             measured = core.run(window, heartbeat=heartbeat)
+            if checker is not None:
+                checker.check()
         if emitter is not None:
             emitter.finish(checkpoint.warmup_instructions + measured)
         raw.append({
@@ -426,14 +440,30 @@ class ExperimentPipeline:
                fallback: Any = None) -> ExperimentResult:
         from repro.flow.results import ExperimentResult
 
-        return self.store.fetch_json(
-            RESULT_STAGE, self.result_fingerprint(workload, config),
-            compute=lambda: assemble_result(
+        def compute() -> ExperimentResult:
+            result = assemble_result(
                 workload, config, self.settings,
                 self.selection(workload),
-                self.power_runs(workload, config)),
+                self.power_runs(workload, config))
+            # Save boundary: impossible values in a freshly computed
+            # result are a model bug — permanent, recorded, not retried.
+            require_valid_result(result, boundary="save")
+            return result
+
+        def decode(payload: Any) -> ExperimentResult:
+            result = ExperimentResult.from_dict(payload)
+            # Load boundary: a cached artifact that parses but carries
+            # impossible values is treated like a torn one — the raised
+            # ResultValidationError lands in peek_json's corrupt guard,
+            # so the artifact is discarded and recomputed.
+            require_valid_result(result, boundary="load")
+            return result
+
+        return self.store.fetch_json(
+            RESULT_STAGE, self.result_fingerprint(workload, config),
+            compute=compute,
             encode=lambda result: result.to_dict(),
-            decode=ExperimentResult.from_dict,
+            decode=decode,
             fallback=fallback, label=f"{workload}/{config.name}")
 
     # --------------------------- scheduling ---------------------------
@@ -456,9 +486,14 @@ class ExperimentPipeline:
         """Cache-only result lookup (no computation, no miss counted)."""
         from repro.flow.results import ExperimentResult
 
+        def decode(payload: Any) -> ExperimentResult:
+            result = ExperimentResult.from_dict(payload)
+            require_valid_result(result, boundary="load")
+            return result
+
         return self.store.peek_json(
             RESULT_STAGE, self.result_fingerprint(workload, config),
-            decode=ExperimentResult.from_dict)
+            decode=decode)
 
     def adopt_workload(self, workload: str,
                        profile: BBVProfile | None = None,

@@ -51,6 +51,15 @@ class L1Cache:
         self._retire_mshrs(cycle)
         return len(self._mshrs)
 
+    def mshrs_in_flight(self, cycle: int) -> int:
+        """Live MSHR count at ``cycle``, without retiring expired entries.
+
+        Unlike :meth:`mshr_occupancy` this never mutates the MSHR table,
+        so observers (repro.check) can call it without perturbing the
+        lazily-retired state the access path sees.
+        """
+        return sum(1 for ready in self._mshrs.values() if ready > cycle)
+
     def access(self, address: int, cycle: int,
                is_write: bool = False) -> int | None:
         """Access the cache; returns data-ready latency or None (retry).

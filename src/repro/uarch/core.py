@@ -234,7 +234,7 @@ class BoomCore:
                 self.iq_mem.wakeup()
                 self.iq_fp.wakeup()
             if uop.mispredicted:
-                self.rename.recover()
+                self.rename.recover(fp=uop.fp_snapshotted)
                 stats.rob.flushes += 1
 
     # ------------------------------------------------------------------

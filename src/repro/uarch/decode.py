@@ -82,6 +82,7 @@ class DecodedOp:
         uop.complete_cycle = _NEVER
         uop.taken = False
         uop.mispredicted = False
+        uop.fp_snapshotted = False
         uop.btb_bubble = False
         uop.is_load = self.is_load
         uop.is_store = self.is_store

@@ -67,6 +67,12 @@ class FetchUnit:
         return self.state.exited
 
     @property
+    def fetched(self) -> int:
+        """Total uops fetched — equally, instructions the oracle state has
+        executed (the frontend steps its functional model at fetch)."""
+        return self._seq
+
+    @property
     def out_of_instructions(self) -> bool:
         return self.state.exited and not self.buffer
 

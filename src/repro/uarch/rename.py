@@ -32,6 +32,14 @@ class RenameUnit:
         self.stats = stats
         #: architectural register -> most recent in-flight producer
         self.producers: dict[int, Uop] = {}
+        # Lifetime conservation counters.  Unlike ``stats`` (rebound at
+        # every measurement-window boundary) these span the unit's whole
+        # life, so repro.check can assert allocs - frees == in-flight
+        # destinations and restores <= snapshots at any cycle.
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.total_snapshots = 0
+        self.total_restores = 0
 
     def rebind_stats(self, stats: RenameStats) -> None:
         self.stats = stats
@@ -44,12 +52,14 @@ class RenameUnit:
         self.free -= 1
         self.stats.freelist_allocs += 1
         self.stats.map_writes += 1
+        self.total_allocs += 1
         self.producers[uop.instr.rd] = uop
 
     def release(self, uop: Uop) -> None:
         """Commit: the previous mapping's physical register is freed."""
         self.free += 1
         self.stats.freelist_frees += 1
+        self.total_frees += 1
         producer = self.producers.get(uop.instr.rd)
         if producer is uop:
             del self.producers[uop.instr.rd]
@@ -62,10 +72,12 @@ class RenameUnit:
     def snapshot(self) -> None:
         """Branch dispatch: copy the allocation list (power event)."""
         self.stats.snapshots += 1
+        self.total_snapshots += 1
 
     def restore(self) -> None:
         """Mispredict recovery: restore the allocation list."""
         self.stats.snapshot_restores += 1
+        self.total_restores += 1
 
 
 class RenameStage:
@@ -112,12 +124,21 @@ class RenameStage:
             self.int_unit.snapshot()
             if fp_snapshot:
                 self.fp_unit.snapshot()
+                uop.fp_snapshotted = True
 
     def commit(self, uop: Uop) -> None:
         if uop.dest_kind:
             self.unit_for(uop.dest_kind).release(uop)
 
-    def recover(self) -> None:
-        """Mispredict resolution restores both allocation lists."""
+    def recover(self, fp: bool = True) -> None:
+        """Mispredict resolution restores the snapshotted allocation lists.
+
+        The integer unit always snapshots on a control uop, so it always
+        restores.  Under lazy FP snapshots the FP copy may have been
+        skipped at rename time; restoring a snapshot that was never taken
+        would charge the power model for a phantom copy (restores would
+        exceed snapshots), so the core passes ``fp=uop.fp_snapshotted``.
+        """
         self.int_unit.restore()
-        self.fp_unit.restore()
+        if fp:
+            self.fp_unit.restore()

@@ -28,6 +28,10 @@ class ReorderBuffer:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def __iter__(self):
+        """In-flight uops in program order (oldest first)."""
+        return iter(self._queue)
+
     @property
     def is_empty(self) -> bool:
         return not self._queue

@@ -23,7 +23,7 @@ class Uop:
                  "src_regs", "dest_kind", "state", "complete_cycle", "taken",
                  "mispredicted", "btb_bubble", "is_load", "is_store",
                  "is_control", "mem_addr", "addr_ready", "dispatch_cycle",
-                 "issue_cycle", "x_reads", "f_reads")
+                 "issue_cycle", "x_reads", "f_reads", "fp_snapshotted")
 
     def __init__(self, seq: int, instr: Instruction) -> None:
         self.seq = seq
@@ -55,6 +55,7 @@ class Uop:
         self.complete_cycle = _NEVER
         self.taken = False
         self.mispredicted = False
+        self.fp_snapshotted = False
         self.btb_bubble = False
         self.is_load = instr.is_load
         self.is_store = instr.is_store

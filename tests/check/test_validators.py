@@ -1,0 +1,170 @@
+"""Power-report and experiment-result validators, plus the skew fault."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.check.validators import (
+    require_valid_result,
+    validate_report,
+    validate_result,
+)
+from repro.errors import (
+    CheckError,
+    CorruptArtifactError,
+    ResultValidationError,
+)
+from repro.flow.results import ExperimentResult, SimPointRun
+from repro.pipeline.faults import FaultInjector, parse_fault_spec
+from repro.power.area import ANALYZED_COMPONENTS, REST_OF_TILE
+from repro.power.report import ComponentPower, PowerReport
+
+
+def make_report(cycles: int = 1000) -> PowerReport:
+    report = PowerReport(config_name="MediumBOOM", workload="test",
+                         cycles=cycles)
+    for name in ANALYZED_COMPONENTS:
+        report.components[name] = ComponentPower(0.1, 0.2, 0.3)
+    report.components[REST_OF_TILE] = ComponentPower(5.0, 5.0, 5.0)
+    report.int_issue_slot_mw = [0.01] * 16
+    return report
+
+
+def make_result(weight: float = 1.0, coverage: float = 1.0,
+                ipc: float = 2.0) -> ExperimentResult:
+    cycles = 1000
+    result = ExperimentResult(
+        workload="test", config_name="MediumBOOM", scale=1.0,
+        total_instructions=10_000, interval_size=1000, num_intervals=10,
+        chosen_k=1, coverage=coverage)
+    result.runs = [SimPointRun(
+        interval_index=0, weight=weight, warmup_instructions=100,
+        measured_instructions=int(ipc * cycles), cycles=cycles, ipc=ipc,
+        report=make_report(cycles))]
+    return result
+
+
+class TestValidateReport:
+
+    def test_clean_report_passes(self):
+        assert validate_report(make_report()) == []
+
+    def test_negative_power_flagged(self):
+        report = make_report()
+        report.components["rob"] = ComponentPower(-0.1, 0.2, 0.3)
+        assert any("rob.leakage_mw" in p and "negative" in p
+                   for p in validate_report(report))
+
+    def test_non_finite_power_flagged(self):
+        report = make_report()
+        report.components["lsu"] = ComponentPower(math.nan, 0.2, 0.3)
+        assert any("lsu" in p and "not finite" in p
+                   for p in validate_report(report))
+
+    def test_missing_component_flagged(self):
+        report = make_report()
+        del report.components["dcache"]
+        assert any("components missing: dcache" in p
+                   for p in validate_report(report))
+
+    def test_zero_cycles_flagged(self):
+        assert any("cycles" in p
+                   for p in validate_report(make_report(cycles=0)))
+
+    def test_slot_sum_band(self):
+        report = make_report()
+        report.int_issue_slot_mw = [100.0] * 16
+        assert any("per-slot" in p for p in validate_report(report))
+
+
+class TestValidateResult:
+
+    def test_clean_result_passes(self):
+        assert validate_result(make_result()) == []
+
+    def test_weight_above_one_flagged(self):
+        assert any("weight" in p
+                   for p in validate_result(make_result(weight=1.5)))
+
+    def test_weights_below_coverage_flagged(self):
+        result = make_result(weight=0.4, coverage=0.9)
+        assert any("coverage" in p for p in validate_result(result))
+
+    def test_ipc_cycles_identity_flagged(self):
+        result = make_result()
+        result.runs[0].ipc = result.runs[0].ipc * 2
+        assert any("disagrees" in p for p in validate_result(result))
+
+    def test_non_finite_coverage_flagged(self):
+        result = make_result()
+        result.coverage = math.inf
+        assert any("coverage" in p for p in validate_result(result))
+
+    def test_nested_report_problem_surfaces(self):
+        result = make_result()
+        result.runs[0].report.components["rob"] = \
+            ComponentPower(-1.0, 0.0, 0.0)
+        assert any("runs[0].report" in p
+                   for p in validate_result(result))
+
+
+class TestRequireValidResult:
+
+    def test_clean_result_is_silent(self):
+        require_valid_result(make_result())
+        require_valid_result(make_result(), boundary="load")
+
+    def test_save_boundary_is_permanent(self):
+        with pytest.raises(CheckError):
+            require_valid_result(make_result(weight=2.0))
+
+    def test_load_boundary_is_transient(self):
+        # ResultValidationError subclasses CorruptArtifactError, so the
+        # artifact store treats a skewed artifact like a torn one:
+        # discard and recompute.
+        with pytest.raises(ResultValidationError):
+            require_valid_result(make_result(weight=2.0),
+                                 boundary="load")
+        assert issubclass(ResultValidationError, CorruptArtifactError)
+
+
+class TestSkewFault:
+
+    def test_skew_kind_parses(self):
+        (spec,) = parse_fault_spec("artifact.write:skew:n=1")
+        assert spec.kind == "skew"
+
+    def test_skew_keeps_valid_json_but_fails_validation(self, tmp_path):
+        path = tmp_path / "result.json"
+        path.write_text(make_result().to_json(), encoding="utf-8")
+        injector = FaultInjector(
+            parse_fault_spec("artifact.write:skew:n=1"))
+        assert injector.corrupt_file("artifact.write", "x/result", path)
+        payload = json.loads(path.read_text())  # still strict JSON
+        skewed = ExperimentResult.from_dict(payload)
+        assert validate_result(skewed)  # ...but semantically impossible
+
+    def test_corrupt_kind_still_garbles(self, tmp_path):
+        path = tmp_path / "result.json"
+        path.write_text(make_result().to_json(), encoding="utf-8")
+        injector = FaultInjector(
+            parse_fault_spec("artifact.write:corrupt:n=1"))
+        assert injector.corrupt_file("artifact.write", "x/result", path)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+
+class TestStrictJson:
+
+    def test_to_json_rejects_non_finite(self):
+        result = make_result()
+        result.runs[0].ipc = math.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            result.to_json()
+
+    def test_to_json_round_trips(self):
+        result = make_result()
+        clone = ExperimentResult.from_dict(json.loads(result.to_json()))
+        assert clone.to_json() == result.to_json()

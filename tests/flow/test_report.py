@@ -74,8 +74,10 @@ class TestEnergyMetrics:
             energy_delay_squared(fast)
         assert ratio_ed2p > ratio_edp
 
-    def test_zero_ipc_is_infinite(self):
+    def test_zero_ipc_is_undefined(self):
+        # None (not inf): the sentinel survives strict-JSON round trips.
         dead = self.make_result(ipc=0.0)
         dead.runs[0].ipc = 0.0
-        assert energy_per_instruction_pj(dead) == float("inf")
-        assert energy_delay_product(dead) == float("inf")
+        assert energy_per_instruction_pj(dead) is None
+        assert energy_delay_product(dead) is None
+        assert energy_delay_squared(dead) is None
