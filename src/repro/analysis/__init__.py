@@ -11,6 +11,17 @@ from repro.analysis.cpi_stack import (
     dominant_bottleneck,
     format_cpi_stack,
 )
+from repro.analysis.dse import (
+    DesignPoint,
+    dominates,
+    format_frontier,
+    format_sensitivity,
+    frontier_document,
+    frontier_hotspots,
+    pareto_frontier,
+    sensitivity_table,
+    summarize_space,
+)
 from repro.analysis.efficiency import EfficiencySummary, summarize
 from repro.analysis.validation import (
     AccuracyReport,
@@ -54,6 +65,15 @@ __all__ = [
     "AccuracyReport",
     "full_detailed_ipc",
     "validate_simpoint_accuracy",
+    "DesignPoint",
+    "dominates",
+    "format_frontier",
+    "format_sensitivity",
+    "frontier_document",
+    "frontier_hotspots",
+    "pareto_frontier",
+    "sensitivity_table",
+    "summarize_space",
     "EfficiencySummary",
     "summarize",
     "COMPONENT_LABELS",

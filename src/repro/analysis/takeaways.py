@@ -13,6 +13,7 @@ from statistics import mean
 
 from repro.analysis.figures import ResultMap
 from repro.power.area import ANALYZED_COMPONENTS
+from repro.uarch.config import config_by_name
 from repro.workloads.suite import workload_names
 
 _CONFIGS = ("MediumBOOM", "LargeBOOM", "MegaBOOM")
@@ -190,7 +191,11 @@ def check_takeaway_7(results: ResultMap,
         ratios = []
         for config in _CONFIGS:
             tage = _avg(results, config, "branch_predictor")
-            gshare_name = f"{config}-gshare"
+            # Ablation names are derived from the config's content hash
+            # (see BoomConfig._ablated), so look the name up through the
+            # same helper instead of reassembling it by string format.
+            gshare_name = config_by_name(config) \
+                .with_predictor("gshare").name
             values = [
                 gshare_results[(w, gshare_name)].component_mw(
                     "branch_predictor")

@@ -18,6 +18,8 @@ Metrics (all flat floats under ``metrics``):
 * ``core.<config>.cycles_per_s`` / ``core.<config>.instr_per_s`` —
   detailed-core simulation rate over a measured window;
 * ``stage.<name>_s`` — cold wall-clock of each pipeline stage;
+* ``dse.points_per_s`` — design points swept per second through a
+  pinned cold DSE lattice (the ``repro-cli dse`` throughput);
 * ``peak_rss_kb`` — peak resident set of the benchmark process;
 * ``calibration.ops_per_s`` — a fixed pure-Python loop, used to
   normalize cross-machine comparisons (CI runners are not the dev box).
@@ -41,7 +43,7 @@ from time import perf_counter
 SCHEMA_VERSION = 1
 
 #: metrics where larger is better; only these are regression-gated
-THROUGHPUT_PREFIXES = ("functional.", "profiled.", "core.")
+THROUGHPUT_PREFIXES = ("functional.", "profiled.", "core.", "dse.")
 
 #: throughput metrics excluded from the regression gate: the reference
 #: dispatch loop is kept for equivalence testing, not performance, and
@@ -60,6 +62,8 @@ FUNCTIONAL_WORKLOADS = ("sha", "dijkstra")
 CORE_WORKLOADS = ("sha", "dijkstra")
 CORE_CONFIGS = ("MediumBOOM", "MegaBOOM")
 STAGE_WORKLOAD = "qsort"
+DSE_WORKLOAD = "sha"
+DSE_POINTS = 8
 
 
 @dataclass(frozen=True)
@@ -241,6 +245,26 @@ def measure_stages(limits: BenchLimits, metrics: dict[str, float]) -> None:
         metrics[f"stage.{name}_s"] = perf_counter() - start
 
 
+def measure_dse(limits: BenchLimits, metrics: dict[str, float]) -> None:
+    """Cold DSE sweep throughput over a pinned 8-point lattice.
+
+    Cacheless on purpose: the metric tracks how fast the flow chews
+    through fresh design points, not how fast it replays the artifact
+    store.
+    """
+    from repro.flow.dse import run_dse
+    from repro.flow.experiment import FlowSettings
+    from repro.uarch.space import SpaceSpec
+
+    spec = SpaceSpec(base="MediumBOOM", count=DSE_POINTS, seed=17,
+                     include_presets=False)
+    outcome = run_dse(spec,
+                      settings=FlowSettings(scale=limits.stage_scale,
+                                            seed=17),
+                      cache_dir=None, workloads=[DSE_WORKLOAD])
+    metrics["dse.points_per_s"] = outcome.points_per_s
+
+
 def measure_calibration(metrics: dict[str, float]) -> None:
     """A fixed pure-Python loop: the machine-speed yardstick."""
 
@@ -281,6 +305,7 @@ def run_bench(limits: BenchLimits | None = None, *,
     measure_profiled(limits, metrics)
     measure_core(limits, metrics)
     measure_stages(limits, metrics)
+    measure_dse(limits, metrics)
     metrics["peak_rss_kb"] = peak_rss_kb()
     return {
         "schema": SCHEMA_VERSION,

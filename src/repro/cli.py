@@ -43,7 +43,7 @@ from repro.uarch.config import ALL_CONFIGS, config_by_name
 from repro.workloads.suite import workload_names
 
 
-def _runner(args: argparse.Namespace) -> SweepRunner:
+def _settings(args: argparse.Namespace) -> FlowSettings:
     from repro.pipeline.faults import FaultInjector
 
     # fault injection: the CLI flag wins; otherwise REPRO_FAULTS /
@@ -51,11 +51,14 @@ def _runner(args: argparse.Namespace) -> SweepRunner:
     env_faults, env_seed = FaultInjector.env_spec()
     faults = getattr(args, "faults", None) or env_faults
     fault_seed = getattr(args, "fault_seed", None)
-    settings = FlowSettings(
+    return FlowSettings(
         scale=args.scale, seed=args.seed, faults=faults,
         fault_seed=env_seed if fault_seed is None else fault_seed)
+
+
+def _runner(args: argparse.Namespace) -> SweepRunner:
     cache = None if args.no_cache else args.cache_dir
-    return SweepRunner(settings, cache_dir=cache)
+    return SweepRunner(_settings(args), cache_dir=cache)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -410,6 +413,84 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.flow.dse import run_dse
+    from repro.flow.scheduler import RetryPolicy
+    from repro.uarch.space import (
+        DesignSpace,
+        generate_points,
+        points_from_dict,
+        points_to_dict,
+        SpaceSpec,
+    )
+
+    spec = SpaceSpec(base=args.base, mode=args.mode, count=args.points,
+                     radius=args.radius, max_changed=args.max_changed,
+                     seed=args.space_seed,
+                     include_presets=not args.no_presets)
+    configs = None
+    if args.action == "generate":
+        space = DesignSpace.around(spec.base)
+        points = generate_points(spec, space=space)
+        text = json.dumps(points_to_dict(spec, points, space=space),
+                          indent=2, sort_keys=True)
+        if args.space:
+            Path(args.space).write_text(text + "\n")
+            print(f"wrote {len(points)} design points to {args.space}")
+        else:
+            print(text)
+        return 0
+    if args.space:
+        path = Path(args.space)
+        if not path.exists():
+            print(f"space document {args.space} not found; create it "
+                  f"with `repro-cli dse generate --space {args.space}`",
+                  file=sys.stderr)
+            return 2
+        try:
+            spec, configs = points_from_dict(json.loads(path.read_text()))
+        except (ValueError, ConfigError, KeyError) as exc:
+            print(f"cannot load space document {args.space}: {exc}",
+                  file=sys.stderr)
+            return 2
+    policy = RetryPolicy(max_attempts=args.retries + 1) \
+        if args.retries is not None else None
+    outcome = run_dse(
+        spec, settings=_settings(args),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs, configs=configs, workloads=args.workloads,
+        policy=policy, timeout=args.timeout, fail_fast=args.fail_fast,
+        resume=args.resume, trace=args.trace, progress=args.progress)
+    document = outcome.document()
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote frontier artifact to {args.output}", file=sys.stderr)
+    if args.action == "frontier":
+        if not args.output:
+            print(json.dumps(document, indent=2, sort_keys=True))
+    else:  # sweep | report
+        print(outcome.format())
+        print(f"\nswept {len(outcome.points)} design points "
+              f"({len(outcome.results)} experiments) at "
+              f"{outcome.points_per_s:.1f} points/s")
+    manifest = outcome.manifest
+    if manifest is not None and manifest.trace:
+        print(f"trace written to {manifest.trace} "
+              f"(render with `repro-cli trace`)", file=sys.stderr)
+    if manifest is not None and not manifest.ok:
+        print(f"\nsweep degraded: {len(outcome.skipped)} design points "
+              f"incomplete ({len(manifest.failures)} experiments failed, "
+              f"{len(manifest.timeouts)} timed out)", file=sys.stderr)
+        if args.action == "sweep" or not outcome.frontier:
+            return 3
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
@@ -576,6 +657,70 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline_parser.add_argument("--uops", type=int, default=32)
     pipeline_parser.add_argument("--skip", type=int, default=0)
     pipeline_parser.set_defaults(handler=_cmd_pipeline)
+
+    dse_parser = commands.add_parser(
+        "dse", help="design-space exploration: generate a config "
+                    "lattice, sweep it, compute the Pareto frontier")
+    dse_parser.add_argument(
+        "action", choices=("generate", "sweep", "frontier", "report"),
+        help="generate = materialize the point set (JSON); sweep = run "
+             "it and print the frontier; frontier = emit the frontier "
+             "artifact JSON; report = human-readable frontier + "
+             "sensitivity tables")
+    dse_parser.add_argument(
+        "--points", type=int, default=64, metavar="N",
+        help="lattice size to generate (default 64)")
+    dse_parser.add_argument(
+        "--base", default="LargeBOOM",
+        help="preset the lattice is centered on (default LargeBOOM)")
+    dse_parser.add_argument(
+        "--mode", default="neighborhood",
+        choices=("neighborhood", "random", "grid"),
+        help="sampling strategy (default neighborhood)")
+    dse_parser.add_argument(
+        "--radius", type=int, default=2,
+        help="neighborhood ring radius in lattice rungs (default 2)")
+    dse_parser.add_argument(
+        "--max-changed", type=int, default=2,
+        help="max axes changed per neighborhood point (default 2)")
+    dse_parser.add_argument(
+        "--space-seed", type=int, default=17,
+        help="seed for random-legal lattice draws (default 17)")
+    dse_parser.add_argument(
+        "--no-presets", action="store_true",
+        help="exclude the three paper presets from the point set")
+    dse_parser.add_argument(
+        "--space", default=None, metavar="FILE",
+        help="space document: written by `generate`, read by the other "
+             "actions (bit-reproducible point sets)")
+    dse_parser.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="write the frontier artifact JSON here")
+    dse_parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="WORKLOAD",
+        help="workloads to sweep (default: the full suite)")
+    dse_parser.add_argument(
+        "--resume", action="store_true",
+        help="pick an interrupted DSE sweep back up from the cache")
+    dse_parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first permanent failure")
+    dse_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget (jobs > 1)")
+    dse_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max retries per task for transient failures (default 2)")
+    dse_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec (testing; also via REPRO_FAULTS)")
+    dse_parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault-injection probability draws")
+    dse_parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress + ETA on stderr (implies tracing)")
+    dse_parser.set_defaults(handler=_cmd_dse)
 
     bench_parser = commands.add_parser(
         "bench", help="run the hot-path benchmark harness "

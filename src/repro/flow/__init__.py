@@ -5,6 +5,7 @@ content-addressed stages; see :mod:`repro.pipeline` for the stage and
 artifact-store machinery re-exported here.
 """
 
+from repro.flow.dse import DseOutcome, run_dse
 from repro.flow.experiment import (
     DEFAULT_BIC_THRESHOLD,
     DEFAULT_MAX_K,
@@ -25,6 +26,8 @@ from repro.flow.sweep import DEFAULT_CACHE_DIR, MODEL_VERSION, SweepRunner
 from repro.pipeline import ArtifactStore, ExperimentPipeline, RunManifest
 
 __all__ = [
+    "DseOutcome",
+    "run_dse",
     "DEFAULT_BIC_THRESHOLD",
     "DEFAULT_MAX_K",
     "FlowSettings",

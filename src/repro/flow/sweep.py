@@ -42,6 +42,7 @@ import json
 import logging
 from pathlib import Path
 from time import perf_counter, sleep as _sleep
+from typing import Iterable
 
 from repro.errors import PERMANENT, TRANSIENT, classify_failure
 from repro.flow.experiment import FlowSettings
@@ -184,7 +185,7 @@ class SweepRunner:
             workload, config,
             fallback=lambda: self._legacy_result(workload, config))
 
-    def run_all(self, configs: tuple[BoomConfig, ...] = ALL_CONFIGS,
+    def run_all(self, configs: Iterable[BoomConfig] = ALL_CONFIGS,
                 workloads: list[str] | None = None,
                 jobs: int = 1, *,
                 policy: RetryPolicy | None = None,
@@ -195,6 +196,13 @@ class SweepRunner:
                 progress: bool = False) \
             -> dict[tuple[str, str], ExperimentResult]:
         """The full study: every workload on every configuration.
+
+        ``configs`` is any iterable of :class:`BoomConfig` — the three
+        paper presets by default, but equally a generated design-space
+        lattice (:mod:`repro.uarch.space`).  Results, sweep state and
+        the returned map are keyed by config *name*, so names must be
+        unique within one sweep (generated points embed their content
+        hash in the name, guaranteeing this).
 
         With ``jobs > 1``, uncached work runs in a process pool at stage
         granularity: one task per workload for the shared stages, then
@@ -223,6 +231,14 @@ class SweepRunner:
         started = perf_counter()
         before = self.store.stats_snapshot()
         policy = policy if policy is not None else RetryPolicy()
+        configs = tuple(configs)
+        names = [config.name for config in configs]
+        duplicates = sorted({name for name in names
+                             if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"sweep configs must have unique names, got duplicates: "
+                f"{', '.join(duplicates)}")
         if workloads is None:
             workloads = workload_names()
         pairs = [(workload, config) for config in configs

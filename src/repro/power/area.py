@@ -158,6 +158,40 @@ def issue_queue_area(entries: int, width: int,
     return ComponentArea(flops=payload, gates=logic, cam_bits=wakeup_cam)
 
 
+#: relative silicon cost per cell type, in generic gate-equivalents —
+#: a flop is ~8 NAND2-equivalents, an SRAM bit well under one, a CAM
+#: bit carries its match logic.  The absolute scale is arbitrary; the
+#: DSE layer only ever compares area proxies against each other.
+_GE_PER_FLOP = 8.0
+_GE_PER_GATE = 1.0
+_GE_PER_SRAM_BIT = 0.6
+_GE_PER_CAM_BIT = 2.0
+
+
+def area_gate_equivalents(area: ComponentArea) -> float:
+    """Collapse one cell inventory to scalar gate-equivalents."""
+    return (area.flops * _GE_PER_FLOP + area.gates * _GE_PER_GATE
+            + area.sram_bits * _GE_PER_SRAM_BIT
+            + area.cam_bits * _GE_PER_CAM_BIT)
+
+
+def component_area_proxy(config: BoomConfig) -> dict[str, float]:
+    """Per-component scalar area (gate-equivalents) for ``config``."""
+    return {name: area_gate_equivalents(area)
+            for name, area in component_areas(config).items()}
+
+
+def area_proxy(config: BoomConfig) -> float:
+    """Whole-tile scalar area proxy (gate-equivalents).
+
+    This is the area axis of the DSE Pareto frontier: a structural
+    stand-in for synthesized cell area, consistent across the design
+    space because every component grows through the same inventory
+    model that drives the power reports.
+    """
+    return sum(component_area_proxy(config).values())
+
+
 def component_areas(config: BoomConfig) -> dict[str, ComponentArea]:
     """The full per-component cell inventory for ``config``."""
     areas: dict[str, ComponentArea] = {}

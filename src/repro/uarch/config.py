@@ -22,7 +22,9 @@ only in IPC and power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 from repro.errors import ConfigError
 
@@ -40,10 +42,19 @@ class CacheParams:
     line_bytes: int = 64
 
     def __post_init__(self) -> None:
-        if self.size_bytes % (self.ways * self.line_bytes):
+        # Positivity first: a degenerate geometry like size_bytes=0 (or
+        # any size smaller than one way of lines that still divides
+        # evenly) used to yield sets == 0, which slipped through the
+        # power-of-two check below (0 & -1 == 0).  A design-space
+        # generator must not be able to emit such a point.
+        if self.ways <= 0 or self.mshrs <= 0 or self.line_bytes <= 0:
+            raise ConfigError("cache needs positive ways/mshrs/line size")
+        if self.size_bytes <= 0 \
+                or self.size_bytes % (self.ways * self.line_bytes):
             raise ConfigError("cache size must divide into ways * lines")
-        if self.sets & (self.sets - 1):
-            raise ConfigError("cache set count must be a power of two")
+        if self.sets < 1 or self.sets & (self.sets - 1):
+            raise ConfigError(
+                "cache set count must be a positive power of two")
 
     @property
     def sets(self) -> int:
@@ -133,20 +144,40 @@ class BoomConfig:
         """BOOM retires at core width."""
         return self.decode_width
 
+    def _ablated(self, tag: str, **changes) -> "BoomConfig":
+        """An ablation of this config, named after its own content.
+
+        The old scheme (``f"{name}-{kind}"``) mangled names: repeated
+        application stacked suffixes (``MediumBOOM-gshare-gshare``), and
+        a generated config whose name happened to contain ``-gshare``
+        could collide with a genuinely different ablated config in every
+        name-keyed map (sweep state, result maps, analysis series).
+        Names now carry the stable content hash of the ablated config,
+        so equal names imply equal hardware.
+        """
+        ablated = replace(self, **changes)
+        base = self.name.split("@", 1)[0]
+        return replace(ablated,
+                       name=f"{base}-{tag}@{config_id(ablated)[:10]}")
+
     def with_predictor(self, kind: str) -> "BoomConfig":
         """This config with a different direction predictor (ablations)."""
-        return replace(self, predictor=replace(self.predictor, kind=kind),
-                       name=f"{self.name}-{kind}")
+        if self.predictor.kind == kind:
+            return self
+        return self._ablated(kind,
+                             predictor=replace(self.predictor, kind=kind))
 
     def with_issue_queues(self, kind: str) -> "BoomConfig":
         """This config with a different issue-queue design (ablations)."""
-        return replace(self, issue_queue_kind=kind,
-                       name=f"{self.name}-{kind}iq")
+        if self.issue_queue_kind == kind:
+            return self
+        return self._ablated(f"{kind}iq", issue_queue_kind=kind)
 
     def with_lazy_fp_snapshots(self) -> "BoomConfig":
         """This config with the Key Takeaway #3 rename optimization."""
-        return replace(self, fp_rename_lazy_snapshots=True,
-                       name=f"{self.name}-lazyfp")
+        if self.fp_rename_lazy_snapshots:
+            return self
+        return self._ablated("lazyfp", fp_rename_lazy_snapshots=True)
 
     def describe(self) -> dict[str, object]:
         """Table I row for this configuration."""
@@ -289,13 +320,38 @@ MEGA_BOOM = BoomConfig(
     dcache=CacheParams(size_bytes=32 * 1024, ways=8, mshrs=8),  # 2x MSHRs
 )
 
+#: the paper's sweep axis (Table I) — the *default* axis; any iterable
+#: of BoomConfigs is an equally valid one (see repro.uarch.space)
 ALL_CONFIGS: tuple[BoomConfig, ...] = (MEDIUM_BOOM, LARGE_BOOM, MEGA_BOOM)
+
+#: every named design point, including SmallBOOM (not in the paper's
+#: study, but a legal neighborhood center for design-space exploration)
+PRESET_CONFIGS: tuple[BoomConfig, ...] = (SMALL_BOOM,) + ALL_CONFIGS
+
+
+def config_id(config: BoomConfig) -> str:
+    """Stable content hash of a configuration, excluding its name.
+
+    The digest covers the canonical JSON form (sorted keys) of every
+    field *value*, so it is independent of field declaration order and
+    of how the config was built — a point reached by ``replace`` chains,
+    keyword construction, or lattice generation hashes identically when
+    the hardware is identical.  Defaults are materialized into values,
+    so changing a dataclass *default* never silently re-identifies
+    configs that spelled the value out.  The display name is excluded:
+    it is presentation, not hardware.
+    """
+    payload = asdict(config)
+    del payload["name"]
+    canonical = json.dumps({"boom_config": payload}, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 def config_by_name(name: str) -> BoomConfig:
-    """Look up one of the three standard configurations."""
-    for config in ALL_CONFIGS:
+    """Look up one of the standard (preset) configurations."""
+    for config in PRESET_CONFIGS:
         if config.name.lower() == name.lower():
             return config
-    known = ", ".join(c.name for c in ALL_CONFIGS)
+    known = ", ".join(c.name for c in PRESET_CONFIGS)
     raise ConfigError(f"unknown configuration {name!r} (known: {known})")

@@ -1,0 +1,497 @@
+"""The BOOM design space as a first-class object (ROADMAP item 3).
+
+The paper studies exactly three SonicBOOM design points; this module
+generalizes that trio into a declarative *parameter lattice*: each
+:class:`ParamAxis` names one ``BoomConfig`` field (dotted paths reach
+into the nested cache/predictor params) and enumerates its legal rungs.
+A :class:`DesignSpace` combines a preset *base* configuration, the axes,
+and composable legality constraints; every sampler — exhaustive
+:meth:`DesignSpace.grid`, :meth:`DesignSpace.neighborhood` rings around
+the base, seeded :meth:`DesignSpace.random` — produces only *legal*
+``BoomConfig`` instances:
+
+* construction itself re-runs ``BoomConfig.__post_init__`` (and the
+  nested ``CacheParams``/``PredictorParams`` validation), so nothing a
+  dataclass would reject can leave the generator, and
+* the structural :data:`DEFAULT_CONSTRAINTS` (port/width coupling, LSQ
+  vs ROB sizing, MSHR vs LDQ coverage, power-of-two BTBs) reject points
+  that are constructible but architecturally nonsensical.
+
+Generated points are named ``dse-<config_id>``, the stable content hash
+of :func:`repro.uarch.config.config_id`, so they flow through the
+content-addressed artifact store, sweep state, and every name-keyed
+analysis map without collisions — and a lattice point whose content
+equals a known preset *is* that preset (same object, same name, same
+cache keys), which keeps the paper's three presets bit-identical no
+matter how they were reached.
+
+Sampling is deterministic: a fixed seed yields the same point list, in
+the same order, across process restarts and platforms (``random.Random``
+with integer seeding; no set/dict iteration feeds the draw order).
+
+Example::
+
+    from repro.uarch.space import DesignSpace, SpaceSpec, generate_points
+
+    points = generate_points(SpaceSpec(base="LargeBOOM", count=64))
+    space = DesignSpace.around(config_by_name("LargeBOOM"))
+    points = space.neighborhood(count=64, radius=2)
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    BoomConfig,
+    PRESET_CONFIGS,
+    config_by_name,
+    config_id,
+)
+
+__all__ = [
+    "ParamAxis",
+    "DesignSpace",
+    "SpaceSpec",
+    "DEFAULT_AXES",
+    "DEFAULT_CONSTRAINTS",
+    "generate_points",
+    "spec_from_dict",
+    "spec_to_dict",
+    "points_to_dict",
+    "points_from_dict",
+]
+
+#: a composable legality predicate over fully constructed configs
+Constraint = Callable[[BoomConfig], bool]
+
+#: format version of the serialized space/point documents
+SPACE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ParamAxis:
+    """One lattice dimension: a config field and its ordered rungs.
+
+    ``path`` is the ``BoomConfig`` field name, dotted for the nested
+    parameter blocks (``dcache.mshrs``, ``predictor.btb_entries``).
+    ``values`` are the legal rungs in ascending order; neighborhood
+    sampling steps along them, so spacing encodes how coarsely the
+    dimension is explored.
+    """
+
+    path: str
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigError(f"axis {self.path!r} has no rungs")
+        if list(self.values) != sorted(set(self.values)):
+            raise ConfigError(
+                f"axis {self.path!r} rungs must be ascending and unique")
+
+    def nearest_index(self, value: int) -> int:
+        """Index of the rung closest to ``value`` (ties go low)."""
+        return min(range(len(self.values)),
+                   key=lambda i: (abs(self.values[i] - value), i))
+
+
+#: the studied parameters — §6 of the issue: ROB, IQ banks, RF ports,
+#: MSHRs, fetch/decode width, BTB, LDQ/STQ, physical registers
+DEFAULT_AXES: tuple[ParamAxis, ...] = (
+    ParamAxis("decode_width", (1, 2, 3, 4, 5)),
+    ParamAxis("fetch_width", (4, 8)),
+    ParamAxis("rob_entries", (32, 48, 64, 80, 96, 112, 128, 160)),
+    ParamAxis("int_phys_regs", (48, 64, 80, 96, 100, 112, 128, 144)),
+    ParamAxis("fp_phys_regs", (48, 64, 80, 96, 112, 128)),
+    ParamAxis("int_iq_entries", (8, 12, 16, 20, 24, 32, 40, 48)),
+    ParamAxis("mem_iq_entries", (8, 12, 16, 20, 24, 32)),
+    ParamAxis("fp_iq_entries", (8, 16, 24, 32, 40)),
+    ParamAxis("int_rf_read_ports", (4, 6, 8, 10, 12, 14)),
+    ParamAxis("int_rf_write_ports", (2, 3, 4, 5, 6, 7)),
+    ParamAxis("fp_rf_read_ports", (2, 3, 4, 6, 8)),
+    ParamAxis("fp_rf_write_ports", (1, 2, 3, 4)),
+    ParamAxis("ldq_entries", (8, 12, 16, 24, 32, 40)),
+    ParamAxis("stq_entries", (8, 12, 16, 24, 32, 40)),
+    ParamAxis("dcache.mshrs", (1, 2, 4, 8, 16)),
+    ParamAxis("icache.mshrs", (1, 2, 4)),
+    ParamAxis("predictor.btb_entries", (128, 256, 512, 1024)),
+)
+
+
+# ----------------------------------------------------------------------
+# structural legality constraints (beyond dataclass validation)
+# ----------------------------------------------------------------------
+
+def _rf_ports_cover_width(config: BoomConfig) -> bool:
+    """Integer RF ports must feed the machine width (2 reads + 1 write
+    per issued op, ports at least paired read:write)."""
+    return (config.int_rf_read_ports >= 2 * config.decode_width
+            and config.int_rf_write_ports >= config.decode_width
+            and config.int_rf_read_ports >= config.int_rf_write_ports)
+
+
+def _lsq_fits_rob(config: BoomConfig) -> bool:
+    """In-flight memory ops live in the ROB too."""
+    return (config.ldq_entries <= config.rob_entries
+            and config.stq_entries <= config.rob_entries)
+
+
+def _mshrs_covered_by_ldq(config: BoomConfig) -> bool:
+    """More outstanding misses than load-queue slots is dead silicon."""
+    return config.dcache.mshrs <= config.ldq_entries
+
+
+def _iqs_fit_rob(config: BoomConfig) -> bool:
+    """Issue-queue slots beyond 2x the ROB can never fill."""
+    total = (config.int_iq_entries + config.mem_iq_entries
+             + config.fp_iq_entries)
+    return total <= 2 * config.rob_entries
+
+
+def _regs_cover_rob(config: BoomConfig) -> bool:
+    """Enough rename headroom: at least half the ROB renameable."""
+    return (config.int_phys_regs >= 32 + config.rob_entries // 2
+            and config.fp_phys_regs >= 32 + config.rob_entries // 4)
+
+
+def _btb_power_of_two(config: BoomConfig) -> bool:
+    entries = config.predictor.btb_entries
+    return entries >= 1 and entries & (entries - 1) == 0
+
+
+DEFAULT_CONSTRAINTS: tuple[Constraint, ...] = (
+    _rf_ports_cover_width,
+    _lsq_fits_rob,
+    _mshrs_covered_by_ldq,
+    _iqs_fit_rob,
+    _regs_cover_rob,
+    _btb_power_of_two,
+)
+
+#: content hash -> preset, for snapping generated points onto the named
+#: designs so preset artifacts stay bit-identical however reached
+_PRESETS_BY_ID: dict[str, BoomConfig] = {
+    config_id(config): config for config in PRESET_CONFIGS}
+
+
+def _replace_path(config: BoomConfig, path: str, value: int) -> BoomConfig:
+    """``dataclasses.replace`` through a dotted field path."""
+    if "." not in path:
+        return replace(config, **{path: value})
+    outer, inner = path.split(".", 1)
+    if "." in inner:
+        raise ConfigError(f"axis path {path!r} nests too deep")
+    nested = getattr(config, outer)
+    return replace(config, **{outer: replace(nested, **{inner: value})})
+
+
+def _read_path(config: BoomConfig, path: str) -> int:
+    node = config
+    for part in path.split("."):
+        node = getattr(node, part)
+    return node
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A preset-anchored parameter lattice with legality constraints."""
+
+    base: BoomConfig
+    axes: tuple[ParamAxis, ...] = DEFAULT_AXES
+    constraints: tuple[Constraint, ...] = DEFAULT_CONSTRAINTS
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for axis in self.axes:
+            if axis.path in seen:
+                raise ConfigError(f"duplicate axis {axis.path!r}")
+            seen.add(axis.path)
+
+    @classmethod
+    def around(cls, base: BoomConfig | str,
+               axes: tuple[ParamAxis, ...] = DEFAULT_AXES,
+               constraints: tuple[Constraint, ...] = DEFAULT_CONSTRAINTS,
+               ) -> "DesignSpace":
+        """The default lattice centered on ``base`` (config or preset
+        name)."""
+        if isinstance(base, str):
+            base = config_by_name(base)
+        return cls(base=base, axes=axes, constraints=constraints)
+
+    # ------------------------------------------------------------------
+    # point construction
+    # ------------------------------------------------------------------
+
+    def apply(self, overrides: Mapping[str, int]) -> BoomConfig:
+        """Build the config at lattice point ``overrides`` (axis path ->
+        value), without legality screening beyond dataclass validation.
+
+        The result is named ``dse-<config_id>`` — unless its content
+        matches a known preset, in which case the preset itself is
+        returned so downstream cache keys and analysis maps are
+        identical to a hand-written sweep over the presets.
+        """
+        known = {axis.path for axis in self.axes}
+        config = self.base
+        for path, value in overrides.items():
+            if path not in known:
+                raise ConfigError(f"unknown axis {path!r}")
+            config = _replace_path(config, path, value)
+        cid = config_id(config)
+        preset = _PRESETS_BY_ID.get(cid)
+        if preset is not None:
+            return preset
+        return replace(config, name=f"dse-{cid[:12]}")
+
+    def legalize(self, overrides: Mapping[str, int]) -> BoomConfig | None:
+        """The config at ``overrides`` if legal, else ``None``."""
+        try:
+            config = self.apply(overrides)
+        except ConfigError:
+            return None
+        if not all(constraint(config) for constraint in self.constraints):
+            return None
+        return config
+
+    def is_legal(self, config: BoomConfig) -> bool:
+        """Whether a fully built config passes every constraint (the
+        dataclass already validated it on construction)."""
+        return all(constraint(config) for constraint in self.constraints)
+
+    def base_indexes(self) -> tuple[int, ...]:
+        """The base config's position: nearest rung along each axis."""
+        return tuple(axis.nearest_index(_read_path(self.base, axis.path))
+                     for axis in self.axes)
+
+    def overrides_for(self, config: BoomConfig) -> dict[str, int]:
+        """The axis values a config occupies (for serialization), only
+        where it differs from the base."""
+        return {axis.path: _read_path(config, axis.path)
+                for axis in self.axes
+                if _read_path(config, axis.path)
+                != _read_path(self.base, axis.path)}
+
+    # ------------------------------------------------------------------
+    # samplers — every one deterministic and deduplicated by config ID
+    # ------------------------------------------------------------------
+
+    def _emit(self, candidates: Iterable[Mapping[str, int]],
+              count: int | None) -> list[BoomConfig]:
+        out: list[BoomConfig] = []
+        seen: set[str] = set()
+        for overrides in candidates:
+            config = self.legalize(overrides)
+            if config is None:
+                continue
+            cid = config_id(config)
+            if cid in seen:
+                continue
+            seen.add(cid)
+            out.append(config)
+            if count is not None and len(out) >= count:
+                break
+        return out
+
+    def grid(self, count: int | None = None) -> list[BoomConfig]:
+        """Exhaustive row-major lattice walk (legal points only).
+
+        The full Cartesian product is astronomically large for the
+        default axes, so ``count`` is effectively mandatory there; grids
+        are intended for small custom axis sets.
+        """
+        paths = [axis.path for axis in self.axes]
+        product = itertools.product(*(axis.values for axis in self.axes))
+        return self._emit(
+            (dict(zip(paths, values)) for values in product), count)
+
+    def _neighborhood_candidates(self, radius: int, max_changed: int,
+                                 ) -> Iterator[dict[str, int]]:
+        """Rings around the base, nearest first: all points reachable by
+        moving up to ``max_changed`` axes by up to ``radius`` rungs,
+        enumerated in deterministic (ring, axis-order) order."""
+        center = self.base_indexes()
+        yield {}
+        offsets = [step for magnitude in range(1, radius + 1)
+                   for step in (-magnitude, magnitude)]
+        for changed in range(1, max_changed + 1):
+            for axis_combo in itertools.combinations(
+                    range(len(self.axes)), changed):
+                for steps in itertools.product(offsets, repeat=changed):
+                    overrides: dict[str, int] = {}
+                    for axis_index, step in zip(axis_combo, steps):
+                        axis = self.axes[axis_index]
+                        rung = center[axis_index] + step
+                        if not 0 <= rung < len(axis.values):
+                            break
+                        overrides[axis.path] = axis.values[rung]
+                    else:
+                        yield overrides
+
+    def neighborhood(self, count: int | None = None, radius: int = 2,
+                     max_changed: int = 2) -> list[BoomConfig]:
+        """Legal points around the base, nearest rings first.
+
+        The base point itself is first (snapped to its preset identity
+        when the base is a preset), so the anchor design always appears
+        in its own neighborhood.
+        """
+        return self._emit(
+            self._neighborhood_candidates(radius, max_changed), count)
+
+    def random(self, count: int, seed: int = 0) -> list[BoomConfig]:
+        """Seeded uniform draws over the full lattice, rejection-sampled
+        to legal points.  Deterministic for a fixed seed across process
+        restarts; returns fewer than ``count`` points only if the legal
+        lattice is smaller than asked for.
+        """
+        rng = random.Random(seed)
+        attempts = max(1000, count * 400)
+
+        def draws() -> Iterator[dict[str, int]]:
+            for _ in range(attempts):
+                yield {axis.path: rng.choice(axis.values)
+                       for axis in self.axes}
+
+        return self._emit(draws(), count)
+
+
+# ----------------------------------------------------------------------
+# generation specs (the serializable recipe behind `repro-cli dse`)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpaceSpec:
+    """A reproducible recipe for one generated point set."""
+
+    base: str = "LargeBOOM"
+    mode: str = "neighborhood"           # neighborhood | random | grid
+    count: int = 64
+    radius: int = 2
+    max_changed: int = 2
+    seed: int = 17
+    #: also include the paper's three presets (frontier anchors)
+    include_presets: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("neighborhood", "random", "grid"):
+            raise ConfigError(f"unknown sampling mode {self.mode!r}")
+        if self.count < 1:
+            raise ConfigError("need at least one design point")
+
+
+def generate_points(spec: SpaceSpec,
+                    space: DesignSpace | None = None) -> list[BoomConfig]:
+    """Materialize a spec into its deterministic design-point list.
+
+    With ``include_presets`` the paper presets lead the list (they are
+    the frontier anchors the acceptance criteria name), followed by the
+    generated points; duplicates collapse by config ID.  A neighborhood
+    too small for ``count`` is topped up with seeded random-legal draws,
+    so the requested lattice size is met whenever the legal space allows.
+    """
+    if space is None:
+        space = DesignSpace.around(spec.base)
+    if spec.mode == "neighborhood":
+        generated = space.neighborhood(count=spec.count, radius=spec.radius,
+                                       max_changed=spec.max_changed)
+        if len(generated) < spec.count:
+            have = {config_id(config) for config in generated}
+            for config in space.random(spec.count, seed=spec.seed):
+                if config_id(config) not in have:
+                    generated.append(config)
+                    have.add(config_id(config))
+                if len(generated) >= spec.count:
+                    break
+    elif spec.mode == "random":
+        generated = space.random(spec.count, seed=spec.seed)
+    else:
+        generated = space.grid(count=spec.count)
+
+    if not spec.include_presets:
+        return generated
+    from repro.uarch.config import ALL_CONFIGS
+
+    points = list(ALL_CONFIGS)
+    have = {config_id(config) for config in points}
+    for config in generated:
+        cid = config_id(config)
+        if cid not in have:
+            points.append(config)
+            have.add(cid)
+    return points
+
+
+# ----------------------------------------------------------------------
+# serialization (the `dse generate` artifact)
+# ----------------------------------------------------------------------
+
+def spec_to_dict(spec: SpaceSpec) -> dict:
+    return {
+        "base": spec.base,
+        "mode": spec.mode,
+        "count": spec.count,
+        "radius": spec.radius,
+        "max_changed": spec.max_changed,
+        "seed": spec.seed,
+        "include_presets": spec.include_presets,
+    }
+
+
+def spec_from_dict(data: Mapping) -> SpaceSpec:
+    return SpaceSpec(**{key: data[key] for key in spec_to_dict(SpaceSpec())
+                        if key in data})
+
+
+def points_to_dict(spec: SpaceSpec, points: list[BoomConfig],
+                   space: DesignSpace | None = None) -> dict:
+    """The serialized space document: spec + every point's identity.
+
+    Generated points serialize as overrides relative to the base preset;
+    presets serialize by name.  Reconstructing through
+    :func:`points_from_dict` yields configs with identical content
+    hashes — and therefore identical artifact cache keys.
+    """
+    if space is None:
+        space = DesignSpace.around(spec.base)
+    records = []
+    preset_names = {config.name for config in PRESET_CONFIGS}
+    for config in points:
+        record: dict = {"id": config_id(config), "name": config.name}
+        if config.name in preset_names:
+            record["preset"] = config.name
+        else:
+            record["params"] = space.overrides_for(config)
+        records.append(record)
+    return {"format": SPACE_FORMAT, "spec": spec_to_dict(spec),
+            "points": records}
+
+
+def points_from_dict(data: Mapping) -> tuple[SpaceSpec, list[BoomConfig]]:
+    """Rebuild (spec, points) from a serialized space document.
+
+    Every rebuilt point is checked against its recorded content hash, so
+    a space file from a different axis/default vintage fails loudly
+    instead of silently sweeping different hardware.
+    """
+    if data.get("format") != SPACE_FORMAT:
+        raise ConfigError(
+            f"unsupported space document format {data.get('format')!r}")
+    spec = spec_from_dict(data["spec"])
+    space = DesignSpace.around(spec.base)
+    points: list[BoomConfig] = []
+    for record in data["points"]:
+        if "preset" in record:
+            config = config_by_name(record["preset"])
+        else:
+            config = space.apply(record["params"])
+        if config_id(config) != record["id"]:
+            raise ConfigError(
+                f"space document drift: point {record['name']!r} rebuilt "
+                f"with id {config_id(config)}, recorded {record['id']}")
+        points.append(config)
+    return spec, points

@@ -1,0 +1,185 @@
+"""Tests for the Pareto-frontier DSE analysis (repro.analysis.dse)."""
+
+import json
+
+from repro.analysis.dse import (
+    DesignPoint,
+    dominates,
+    format_frontier,
+    format_sensitivity,
+    frontier_document,
+    frontier_hotspots,
+    pareto_frontier,
+    sensitivity_table,
+    summarize_space,
+)
+from repro.power.area import ANALYZED_COMPONENTS, area_proxy
+from repro.uarch.config import config_id, MEDIUM_BOOM
+from repro.uarch.space import DesignSpace, ParamAxis
+
+
+def _point(name, ipc, mw, area, components=None, **extra):
+    return DesignPoint(name=name, config_id=name, ipc=ipc, tile_mw=mw,
+                       perf_per_watt=ipc / (mw * 1e-3), epi_pj=1.0,
+                       area=area, components_mw=components or {}, **extra)
+
+
+# ----------------------------------------------------------------------
+# dominance and the frontier
+# ----------------------------------------------------------------------
+
+def test_dominates_requires_strict_improvement():
+    a = _point("a", ipc=1.0, mw=10.0, area=100.0)
+    same = _point("same", ipc=1.0, mw=10.0, area=100.0)
+    better = _point("better", ipc=1.1, mw=10.0, area=100.0)
+    assert not dominates(a, same)      # equal on everything
+    assert dominates(better, a)
+    assert not dominates(a, better)
+
+
+def test_pareto_frontier_prunes_dominated_points():
+    fast_hot = _point("fast_hot", ipc=1.4, mw=25.0, area=300.0)
+    balanced = _point("balanced", ipc=1.1, mw=12.0, area=180.0)
+    slow_cool = _point("slow_cool", ipc=0.8, mw=6.0, area=90.0)
+    loser = _point("loser", ipc=0.7, mw=13.0, area=200.0)  # dominated
+    frontier, dominated = pareto_frontier(
+        [loser, slow_cool, fast_hot, balanced])
+    assert [p.name for p in frontier] == \
+        ["fast_hot", "balanced", "slow_cool"]  # sorted by IPC desc
+    assert [p.name for p in dominated] == ["loser"]
+
+
+def test_equal_metric_points_all_stay_on_frontier():
+    a = _point("a", ipc=1.0, mw=10.0, area=100.0)
+    b = _point("b", ipc=1.0, mw=10.0, area=100.0)
+    frontier, dominated = pareto_frontier([a, b])
+    assert len(frontier) == 2 and not dominated
+
+
+def test_hotspots_rank_components_with_shares():
+    point = _point("p", ipc=1.0, mw=10.0, area=100.0,
+                   components={"branch_predictor": 3.0,
+                               "int_regfile": 1.0, "rob": 0.5})
+    hotspots = frontier_hotspots([point], top=2)
+    assert [name for name, _, _ in hotspots["p"]] == \
+        ["branch_predictor", "int_regfile"]
+    _, mw, share = hotspots["p"][0]
+    assert mw == 3.0
+    assert abs(share - 3.0 / 4.5) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# summarize_space over a (possibly degraded) result map
+# ----------------------------------------------------------------------
+
+class _FakeResult:
+    def __init__(self, ipc, tile_mw):
+        self.ipc = ipc
+        self.tile_mw = tile_mw
+        self.perf_per_watt = ipc / (tile_mw * 1e-3) if tile_mw else 0.0
+
+    def component_mw(self, name):
+        return self.tile_mw / len(ANALYZED_COMPONENTS)
+
+
+def test_summarize_space_skips_incomplete_configs():
+    import dataclasses
+
+    other = dataclasses.replace(MEDIUM_BOOM, rob_entries=96,
+                                name="dse-xxxx")
+    results = {
+        ("sha", MEDIUM_BOOM.name): _FakeResult(0.8, 10.0),
+        ("dijkstra", MEDIUM_BOOM.name): _FakeResult(0.6, 9.0),
+        ("sha", other.name): _FakeResult(0.9, 12.0),
+        # dijkstra missing for `other`: a degraded sweep
+    }
+    points, skipped = summarize_space(results, [MEDIUM_BOOM, other],
+                                      workloads=["sha", "dijkstra"])
+    assert [p.name for p in points] == [MEDIUM_BOOM.name]
+    assert skipped == [other.name]
+    point = points[0]
+    assert point.preset
+    assert abs(point.ipc - 0.7) < 1e-12
+    assert abs(point.tile_mw - 9.5) < 1e-12
+    assert abs(point.area - area_proxy(MEDIUM_BOOM)) < 1e-9
+    assert point.config_id == config_id(MEDIUM_BOOM)
+
+
+def test_summarize_space_records_lattice_overrides():
+    space = DesignSpace.around(MEDIUM_BOOM)
+    other = space.apply({"rob_entries": 96})
+    results = {("sha", other.name): _FakeResult(0.9, 12.0)}
+    points, _ = summarize_space(results, [other], workloads=["sha"],
+                                space=space)
+    assert points[0].params == {"rob_entries": 96}
+    assert not points[0].preset
+
+
+# ----------------------------------------------------------------------
+# sensitivity
+# ----------------------------------------------------------------------
+
+def test_sensitivity_table_single_axis_neighbors():
+    axes = (ParamAxis("rob_entries", (32, 64, 96)),
+            ParamAxis("ldq_entries", (16, 24)))
+    space = DesignSpace.around(MEDIUM_BOOM, axes=axes)
+    center = DesignPoint(name=MEDIUM_BOOM.name,
+                         config_id=config_id(MEDIUM_BOOM),
+                         ipc=1.0, tile_mw=10.0, perf_per_watt=100.0,
+                         epi_pj=1.0, area=100.0, params={})
+    up = DesignPoint(name="up", config_id="up", ipc=1.2, tile_mw=12.0,
+                     perf_per_watt=100.0, epi_pj=1.0, area=130.0,
+                     params={"rob_entries": 96})  # +1 step from 64
+    multi = DesignPoint(name="multi", config_id="multi", ipc=2.0,
+                        tile_mw=20.0, perf_per_watt=100.0, epi_pj=1.0,
+                        area=200.0,
+                        params={"rob_entries": 96, "ldq_entries": 24})
+    rows = sensitivity_table(space, [center, up, multi])
+    assert len(rows) == 1  # multi-axis neighbor excluded
+    row = rows[0]
+    assert row["axis"] == "rob_entries"
+    assert row["neighbors"] == 1
+    assert abs(row["dipc_per_step"] - 0.2) < 1e-12
+    assert abs(row["dmw_per_step"] - 2.0) < 1e-12
+
+
+def test_sensitivity_table_without_center_is_empty():
+    space = DesignSpace.around(MEDIUM_BOOM)
+    assert sensitivity_table(space, []) == []
+
+
+# ----------------------------------------------------------------------
+# artifact document and text reports
+# ----------------------------------------------------------------------
+
+def test_frontier_document_is_strict_json():
+    points = [_point("a", 1.0, 10.0, 100.0,
+                     components={"rob": 1.0}, preset=True),
+              _point("b", 0.5, 20.0, 300.0)]
+    frontier, dominated = pareto_frontier(points)
+    document = frontier_document(points, frontier, dominated,
+                                 skipped=["c"],
+                                 sensitivity=[{"axis": "rob_entries"}],
+                                 spec={"base": "LargeBOOM"})
+    text = json.dumps(document, sort_keys=True, allow_nan=False)
+    rebuilt = json.loads(text)
+    assert rebuilt["frontier"] == ["a"]
+    assert rebuilt["dominated"] == ["b"]
+    assert rebuilt["skipped"] == ["c"]
+    assert rebuilt["spec"]["base"] == "LargeBOOM"
+    assert rebuilt["points"][0]["name"] == "a"
+
+
+def test_format_frontier_marks_presets_and_skips():
+    points = [_point("a", 1.0, 10.0, 100.0, preset=True),
+              _point("b", 0.5, 20.0, 300.0)]
+    frontier, _ = pareto_frontier(points)
+    text = format_frontier(points, frontier, skipped=["broken"])
+    assert "*a" in text
+    assert "broken" in text
+    assert "paper preset" in text
+
+
+def test_format_sensitivity_handles_empty():
+    assert "no single-axis neighbors" in format_sensitivity(
+        [], "LargeBOOM")

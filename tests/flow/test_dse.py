@@ -1,0 +1,94 @@
+"""Tests for the DSE flow orchestration (repro.flow.dse)."""
+
+import json
+
+import pytest
+
+from repro.flow.dse import run_dse
+from repro.flow.experiment import FlowSettings
+from repro.uarch.config import ALL_CONFIGS, config_id
+from repro.uarch.space import generate_points, SpaceSpec
+
+SETTINGS = FlowSettings(scale=0.05)
+SPEC = SpaceSpec(base="MediumBOOM", count=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def outcome(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("dse_cache")
+    return run_dse(SPEC, settings=SETTINGS, cache_dir=cache,
+                   workloads=["sha"])
+
+
+def test_outcome_covers_every_point(outcome):
+    assert len(outcome.points) == len(outcome.configs)
+    assert not outcome.skipped
+    assert len(outcome.results) == len(outcome.configs)  # 1 workload
+    assert {point.name for point in outcome.points} == \
+        {config.name for config in outcome.configs}
+
+
+def test_presets_lead_the_point_set(outcome):
+    assert [config.name for config in outcome.configs[:3]] == \
+        [config.name for config in ALL_CONFIGS]
+
+
+def test_frontier_partitions_the_points(outcome):
+    names = {point.name for point in outcome.points}
+    frontier = {point.name for point in outcome.frontier}
+    dominated = {point.name for point in outcome.dominated}
+    assert frontier | dominated == names
+    assert not frontier & dominated
+    assert outcome.frontier, "frontier cannot be empty"
+
+
+def test_document_is_strict_json(outcome):
+    document = outcome.document()
+    text = json.dumps(document, sort_keys=True, allow_nan=False)
+    rebuilt = json.loads(text)
+    assert rebuilt["spec"] == {
+        "base": "MediumBOOM", "mode": "neighborhood", "count": 6,
+        "radius": 2, "max_changed": 2, "seed": 11,
+        "include_presets": True}
+    assert set(rebuilt["frontier"]) <= \
+        {point["name"] for point in rebuilt["points"]}
+    assert rebuilt["settings"]["points_per_s"] > 0
+
+
+def test_format_report_mentions_frontier_and_sensitivity(outcome):
+    text = outcome.format()
+    assert "Pareto frontier" in text
+    assert "Sensitivity around MediumBOOM" in text
+
+
+def test_points_per_s_positive(outcome):
+    assert outcome.points_per_s > 0
+    assert outcome.wall_seconds > 0
+
+
+def test_rerun_from_cache_is_identical(outcome, tmp_path):
+    """A warm re-run over the same spec reproduces the same points and
+    the same frontier membership."""
+    # note: different cache dir -> cold; same spec -> same configs
+    again = run_dse(SPEC, settings=SETTINGS,
+                    cache_dir=None, workloads=["sha"])
+    assert [config_id(c) for c in again.configs] == \
+        [config_id(c) for c in outcome.configs]
+    assert [p.name for p in again.frontier] == \
+        [p.name for p in outcome.frontier]
+
+
+def test_explicit_configs_bypass_generation(tmp_path):
+    configs = generate_points(SpaceSpec(base="MediumBOOM", count=2,
+                                        include_presets=False))
+    out = run_dse(SPEC, settings=SETTINGS, cache_dir=tmp_path,
+                  configs=configs, workloads=["sha"])
+    assert [c.name for c in out.configs] == [c.name for c in configs]
+
+
+def test_dse_metrics_gauge_updated(outcome):
+    from repro.obs.metrics import get_metrics
+
+    entry = get_metrics().snapshot().get("dse.points_per_s")
+    assert entry is not None and entry["kind"] == "gauge"
+    assert entry["value"] > 0

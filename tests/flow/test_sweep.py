@@ -105,6 +105,39 @@ def test_run_all_subset(tmp_path):
     assert set(results) == {("qsort", "MediumBOOM"), ("sha", "MediumBOOM")}
 
 
+def test_run_all_accepts_any_config_iterable(tmp_path):
+    """A generated design-space axis is just an iterable of configs."""
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    results = runner.run_all(
+        configs=(config for config in (MEDIUM_BOOM,)),
+        workloads=["qsort"])
+    assert set(results) == {("qsort", "MediumBOOM")}
+
+
+def test_run_all_sweeps_generated_lattice_points(tmp_path):
+    from repro.uarch.space import DesignSpace
+
+    space = DesignSpace.around(MEDIUM_BOOM)
+    point = space.apply({"rob_entries": 48})
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    results = runner.run_all(configs=[MEDIUM_BOOM, point],
+                             workloads=["qsort"])
+    assert set(results) == {("qsort", "MediumBOOM"),
+                            ("qsort", point.name)}
+    assert point.name.startswith("dse-")
+
+
+def test_run_all_rejects_duplicate_names(tmp_path):
+    import dataclasses
+
+    clone = dataclasses.replace(MEDIUM_BOOM, rob_entries=48,
+                                name=MEDIUM_BOOM.name)
+    runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
+    with pytest.raises(ValueError, match="unique names"):
+        runner.run_all(configs=(MEDIUM_BOOM, clone),
+                       workloads=["qsort"])
+
+
 def test_shared_stages_run_once_per_workload(tmp_path):
     runner = SweepRunner(SETTINGS, cache_dir=tmp_path)
     runner.run_all(configs=(MEDIUM_BOOM, MEGA_BOOM),

@@ -169,6 +169,47 @@ def test_sweep_resume_carries_failure_and_reports(capsys, tmp_path):
     assert "perf-per-watt" in captured.out
 
 
+def test_dse_generate_sweep_and_report(capsys, tmp_path):
+    import json
+
+    space_file = tmp_path / "space.json"
+    code, out = run_cli(capsys, "dse", "generate", "--points", "6",
+                        "--base", "MediumBOOM",
+                        "--space", str(space_file))
+    assert code == 0
+    document = json.loads(space_file.read_text())
+    assert len(document["points"]) >= 6
+
+    frontier_file = tmp_path / "frontier.json"
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "dse", "sweep", "--space", str(space_file),
+                        "--workloads", "sha",
+                        "-o", str(frontier_file))
+    assert code == 0
+    assert "Pareto frontier" in out
+    assert "points/s" in out
+    frontier = json.loads(frontier_file.read_text())
+    assert frontier["frontier"]
+    assert not frontier["skipped"]
+
+    # report reuses the warm cache and prints the sensitivity table
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "dse", "report", "--space", str(space_file),
+                        "--workloads", "sha")
+    assert code == 0
+    assert "Sensitivity around MediumBOOM" in out
+
+
+def test_dse_missing_space_document_errors(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path), "dse", "sweep",
+                 "--space", str(tmp_path / "absent.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "not found" in captured.err
+
+
 def test_sweep_retries_transient_faults(capsys, tmp_path):
     code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
                  "--jobs", "2", "sweep", "--retries", "2",

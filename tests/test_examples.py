@@ -57,6 +57,8 @@ def test_design_space_exploration(capsys):
     run_example("design_space_exploration.py")
     out = capsys.readouterr().out
     assert "MegaBOOM-smallIQ" in out
+    assert "Pareto frontier" in out
+    assert "Sensitivity around MediumBOOM" in out
 
 
 @pytest.mark.slow

@@ -103,6 +103,19 @@ def test_cache_params_validation():
         CacheParams(size_bytes=1000, ways=3, mshrs=2)
 
 
+def test_cache_params_reject_degenerate_geometries():
+    # size_bytes=0 used to slip through: sets == 0 divides evenly and
+    # 0 & -1 == 0 passed the power-of-two check
+    with pytest.raises(ConfigError):
+        CacheParams(size_bytes=0, ways=4, mshrs=2)
+    with pytest.raises(ConfigError):
+        CacheParams(size_bytes=16 * 1024, ways=0, mshrs=2)
+    with pytest.raises(ConfigError):
+        CacheParams(size_bytes=16 * 1024, ways=4, mshrs=0)
+    with pytest.raises(ConfigError):
+        CacheParams(size_bytes=16 * 1024, ways=4, mshrs=2, line_bytes=0)
+
+
 def test_predictor_params_validation():
     with pytest.raises(ConfigError):
         PredictorParams(kind="perceptron")
@@ -124,3 +137,29 @@ def test_invalid_config_rejected():
 def test_all_configs_tuple():
     assert [c.name for c in ALL_CONFIGS] == \
         ["MediumBOOM", "LargeBOOM", "MegaBOOM"]
+
+
+def test_ablation_names_are_collision_free():
+    """Two different configs ablated the same way must not share a name
+    (sweep state and analysis maps are keyed by name)."""
+    import dataclasses
+
+    from repro.uarch.config import config_id
+
+    variant = dataclasses.replace(MEGA_BOOM, rob_entries=96,
+                                  name=MEGA_BOOM.name)
+    a = MEGA_BOOM.with_predictor("gshare")
+    b = variant.with_predictor("gshare")
+    assert a.name != b.name
+    assert a.name.endswith(config_id(a)[:10])
+
+
+def test_ablation_helpers_are_idempotent():
+    gshare = MEGA_BOOM.with_predictor("gshare")
+    assert gshare.with_predictor("gshare") is gshare
+    assert gshare.name.count("@") == 1
+    # re-deriving a different ablation from an ablated config replaces
+    # the hash suffix instead of stacking another one
+    ring = gshare.with_issue_queues("ring")
+    assert ring.name.count("@") == 1
+    assert MEGA_BOOM.with_issue_queues("collapsing") is MEGA_BOOM

@@ -1,0 +1,261 @@
+"""Tests for the design-space lattice (repro.uarch.space)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    ALL_CONFIGS,
+    config_by_name,
+    config_id,
+    LARGE_BOOM,
+    MEDIUM_BOOM,
+    PRESET_CONFIGS,
+)
+from repro.uarch.space import (
+    DEFAULT_AXES,
+    DEFAULT_CONSTRAINTS,
+    DesignSpace,
+    generate_points,
+    ParamAxis,
+    points_from_dict,
+    points_to_dict,
+    SpaceSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+#: sha256 over the default SpaceSpec's config-ID list — pinned so a
+#: fresh process (CI, another machine) must reproduce today's byte-exact
+#: draw; any change to axes, defaults, or sampling order trips this.
+_DEFAULT_SPEC_DIGEST = \
+    "7db379ad658bf8b109efad581c2cb38f0a740115feab5b183aafd1f91d80aefc"
+_RANDOM_SPEC_DIGEST = \
+    "9706b0102d4cba51b742d359fc52796aee0a415805b22c17bf4681e8b3c9e3a1"
+
+
+def _digest(points) -> str:
+    ids = "\n".join(config_id(config) for config in points)
+    return hashlib.sha256(ids.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# axes
+# ----------------------------------------------------------------------
+
+def test_axis_rejects_empty_and_unsorted():
+    with pytest.raises(ConfigError):
+        ParamAxis("rob_entries", ())
+    with pytest.raises(ConfigError):
+        ParamAxis("rob_entries", (64, 32))
+    with pytest.raises(ConfigError):
+        ParamAxis("rob_entries", (32, 32, 64))
+
+
+def test_axis_nearest_index():
+    axis = ParamAxis("rob_entries", (32, 64, 128))
+    assert axis.nearest_index(64) == 1
+    assert axis.nearest_index(70) == 1
+    assert axis.nearest_index(5000) == 2
+    assert axis.nearest_index(48) == 0  # tie goes to the lower rung
+
+
+def test_duplicate_axis_rejected():
+    with pytest.raises(ConfigError):
+        DesignSpace(base=MEDIUM_BOOM,
+                    axes=(ParamAxis("rob_entries", (32, 64)),
+                          ParamAxis("rob_entries", (64, 128))))
+
+
+# ----------------------------------------------------------------------
+# legality: every sampled point passes validation + constraints
+# ----------------------------------------------------------------------
+
+def test_presets_are_legal_in_default_space():
+    for preset in PRESET_CONFIGS:
+        space = DesignSpace.around(preset)
+        assert space.is_legal(preset), preset.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       count=st.integers(min_value=1, max_value=24),
+       base=st.sampled_from([c.name for c in PRESET_CONFIGS]))
+def test_random_points_always_legal(seed, count, base):
+    space = DesignSpace.around(base)
+    points = space.random(count, seed=seed)
+    assert len(points) == count
+    for config in points:
+        # construction already re-ran __post_init__; check the
+        # structural constraints explicitly too
+        assert all(constraint(config)
+                   for constraint in DEFAULT_CONSTRAINTS)
+
+
+@settings(max_examples=10, deadline=None)
+@given(radius=st.integers(min_value=1, max_value=3),
+       max_changed=st.integers(min_value=1, max_value=2),
+       base=st.sampled_from([c.name for c in PRESET_CONFIGS]))
+def test_neighborhood_points_always_legal(radius, max_changed, base):
+    space = DesignSpace.around(base)
+    points = space.neighborhood(count=32, radius=radius,
+                                max_changed=max_changed)
+    assert points, "neighborhood must contain at least the base"
+    assert config_id(points[0]) == config_id(space.base)
+    ids = [config_id(config) for config in points]
+    assert len(ids) == len(set(ids)), "points must be deduplicated"
+    for config in points:
+        assert space.is_legal(config)
+
+
+# ----------------------------------------------------------------------
+# determinism: byte-identical draws across processes (pinned goldens)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       count=st.integers(min_value=1, max_value=16))
+def test_random_sampling_deterministic_for_seed(seed, count):
+    space = DesignSpace.around(LARGE_BOOM)
+    first = space.random(count, seed=seed)
+    second = space.random(count, seed=seed)
+    assert [config_id(c) for c in first] == \
+        [config_id(c) for c in second]
+    assert [c.name for c in first] == [c.name for c in second]
+
+
+def test_default_spec_matches_pinned_golden():
+    """The default 64-point lattice is byte-deterministic across process
+    restarts: this digest was pinned in a different process."""
+    points = generate_points(SpaceSpec())
+    assert len(points) >= 64 + len(ALL_CONFIGS) - 1
+    assert [c.name for c in points[:3]] == [c.name for c in ALL_CONFIGS]
+    assert _digest(points) == _DEFAULT_SPEC_DIGEST
+
+
+def test_random_spec_matches_pinned_golden():
+    points = generate_points(SpaceSpec(mode="random", count=16, seed=5,
+                                       include_presets=False))
+    assert _digest(points) == _RANDOM_SPEC_DIGEST
+
+
+# ----------------------------------------------------------------------
+# preset snapping and lattice identity
+# ----------------------------------------------------------------------
+
+def test_apply_empty_overrides_snaps_to_preset():
+    space = DesignSpace.around(LARGE_BOOM)
+    assert space.apply({}) is LARGE_BOOM
+
+
+def test_point_reaching_preset_content_is_that_preset():
+    # Spell out every one of LargeBOOM's own lattice coordinates as
+    # explicit overrides: the content hash matches the preset, so the
+    # preset object itself comes back (same name, same cache keys).
+    space = DesignSpace.around(LARGE_BOOM)
+    overrides = {axis.path: _read(LARGE_BOOM, axis.path)
+                 for axis in DEFAULT_AXES}
+    assert space.apply(overrides) is LARGE_BOOM
+
+
+def _read(config, path):
+    node = config
+    for part in path.split("."):
+        node = getattr(node, part)
+    return node
+
+
+def test_generated_points_named_by_content_hash():
+    space = DesignSpace.around(MEDIUM_BOOM)
+    config = space.apply({"rob_entries": 48})
+    assert config.name == f"dse-{config_id(config)[:12]}"
+
+
+def test_unknown_axis_rejected():
+    space = DesignSpace.around(MEDIUM_BOOM)
+    with pytest.raises(ConfigError):
+        space.apply({"nonexistent_field": 3})
+
+
+def test_grid_on_custom_axes_enumerates_legal_points():
+    axes = (ParamAxis("rob_entries", (64, 96)),
+            ParamAxis("ldq_entries", (16, 24)))
+    space = DesignSpace.around(LARGE_BOOM, axes=axes)
+    points = space.grid()
+    assert len(points) == 4
+    assert len({config_id(c) for c in points}) == 4
+
+
+# ----------------------------------------------------------------------
+# config-ID stability (satellite 3)
+# ----------------------------------------------------------------------
+
+def test_config_id_ignores_name():
+    import dataclasses
+
+    renamed = dataclasses.replace(MEDIUM_BOOM, name="something-else")
+    assert config_id(renamed) == config_id(MEDIUM_BOOM)
+
+
+def test_config_id_stable_across_construction_path():
+    # defaults materialized explicitly == defaults left implicit
+    import dataclasses
+
+    explicit = dataclasses.replace(
+        MEDIUM_BOOM, rob_entries=MEDIUM_BOOM.rob_entries,
+        dcache=dataclasses.replace(MEDIUM_BOOM.dcache))
+    assert config_id(explicit) == config_id(MEDIUM_BOOM)
+
+
+def test_config_id_changes_with_content():
+    import dataclasses
+
+    bigger = dataclasses.replace(MEDIUM_BOOM, rob_entries=96)
+    assert config_id(bigger) != config_id(MEDIUM_BOOM)
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def test_spec_roundtrip():
+    spec = SpaceSpec(base="MediumBOOM", mode="random", count=9, seed=3)
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+def test_spec_rejects_unknown_mode_and_empty_count():
+    with pytest.raises(ConfigError):
+        SpaceSpec(mode="latin-hypercube")
+    with pytest.raises(ConfigError):
+        SpaceSpec(count=0)
+
+
+def test_points_document_roundtrip_preserves_ids():
+    spec = SpaceSpec(base="LargeBOOM", count=12, seed=2)
+    points = generate_points(spec)
+    document = points_to_dict(spec, points)
+    rebuilt_spec, rebuilt = points_from_dict(document)
+    assert rebuilt_spec == spec
+    assert [config_id(c) for c in rebuilt] == \
+        [config_id(c) for c in points]
+    assert [c.name for c in rebuilt] == [c.name for c in points]
+    # presets rebuild as the preset objects themselves
+    assert rebuilt[0] is config_by_name(points[0].name)
+
+
+def test_points_document_drift_detected():
+    spec = SpaceSpec(base="LargeBOOM", count=4, seed=2)
+    points = generate_points(spec)
+    document = points_to_dict(spec, points)
+    tampered = next(record for record in document["points"]
+                    if "params" in record)
+    tampered["id"] = "0" * 16
+    with pytest.raises(ConfigError):
+        points_from_dict(document)
+
+
+def test_points_document_format_gate():
+    with pytest.raises(ConfigError):
+        points_from_dict({"format": 999, "spec": {}, "points": []})
