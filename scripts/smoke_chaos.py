@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Kill -9 chaos smoke test (CI gate for crash recovery + resume).
+
+The property under test: *no matter where a sweep process is killed,
+``repro-cli recover`` + ``--resume`` converge on artifacts
+byte-identical to an uninterrupted run.*
+
+The script runs an uninterrupted baseline sweep into cache A, then
+repeatedly launches the same sweep against cache B as a real child
+process group and SIGKILLs it at seeded-random delays — landing kills
+inside stage computes, mid-rename, between journal claim and commit,
+while leases are held.  After each kill it runs :func:`recover_cache`
+(asserting the storage audit comes back clean) and resumes.  Once the
+sweep finally completes, every stage artifact in B must be
+byte-identical to A, and no quarantined garbage may have leaked back
+into the stage directories.
+
+Usage::
+
+    PYTHONPATH=src python scripts/smoke_chaos.py [--scale 0.05]
+        [--kills 4] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.check.storage import validate_storage
+from repro.flow import FlowSettings, SweepRunner
+from repro.pipeline.artifacts import INTERNAL_DIRS
+from repro.pipeline.journal import recover_cache
+
+#: the child sweep, run as its own process group so SIGKILL takes the
+#: whole pool down at once — exactly the operator's kill -9
+_CHILD = """
+import sys
+from repro.flow import FlowSettings, SweepRunner
+
+runner = SweepRunner(FlowSettings(scale=float(sys.argv[2])),
+                     cache_dir=sys.argv[1])
+runner.run_all(jobs=2, resume=True)
+"""
+
+
+def _artifact_digests(cache: Path) -> dict[str, str]:
+    """sha256 of every stage artifact (bookkeeping excluded)."""
+    digests: dict[str, str] = {}
+    for path in sorted(cache.rglob("*")):
+        if not path.is_file():
+            continue
+        relative = path.relative_to(cache)
+        if relative.parts[0] in INTERNAL_DIRS or \
+                relative.suffix == ".lock" or \
+                relative.name in ("run_manifest.json", "sweep_state.json"):
+            continue
+        digests[str(relative)] = hashlib.sha256(
+            path.read_bytes()).hexdigest()
+    return digests
+
+
+def _launch(cache: Path, scale: float) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, str(cache), str(scale)],
+        start_new_session=True,  # its own process group: killable whole
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--kills", type=int, default=4,
+                        help="number of kill-9 interruptions to inflict")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the kill-delay draws")
+    parser.add_argument("--max-delay", type=float, default=6.0,
+                        help="upper bound on each kill delay (seconds)")
+    args = parser.parse_args(argv)
+    rng = random.Random(args.seed)
+
+    with tempfile.TemporaryDirectory() as a, \
+            tempfile.TemporaryDirectory() as b:
+        baseline_cache, chaos_cache = Path(a), Path(b)
+
+        print(f"baseline: uninterrupted sweep (scale {args.scale:g})")
+        runner = SweepRunner(FlowSettings(scale=args.scale),
+                             cache_dir=baseline_cache)
+        baseline_results = runner.run_all(jobs=2)
+        assert runner.last_manifest.ok, "baseline sweep must be clean"
+        baseline = _artifact_digests(baseline_cache)
+        print(f"baseline OK: {len(baseline_results)} experiments, "
+              f"{len(baseline)} artifacts")
+
+        kills = 0
+        while kills < args.kills:
+            delay = rng.uniform(0.3, args.max_delay)
+            child = _launch(chaos_cache, args.scale)
+            try:
+                child.wait(timeout=delay)
+                # finished before the axe fell: sweep is complete
+                print(f"  kill {kills + 1}: sweep finished in under "
+                      f"{delay:.1f}s; no more work to interrupt")
+                break
+            except subprocess.TimeoutExpired:
+                os.killpg(child.pid, signal.SIGKILL)
+                child.wait()
+                kills += 1
+            # the group is dying, not instantly dead: a SIGKILLed worker
+            # can briefly still probe as alive.  Recovery is idempotent,
+            # so run it until the audit settles clean.
+            for _ in range(50):
+                report = recover_cache(chaos_cache)
+                audit = validate_storage(chaos_cache)
+                if audit.ok:
+                    break
+                time.sleep(0.1)
+            assert audit.ok, (
+                f"storage audit failed after recover: {audit.problems}")
+            print(f"  kill {kills} after {delay:.1f}s: "
+                  f"{len(report.quarantined)} quarantined, "
+                  f"{report.leases_released} leases released, "
+                  f"{report.tmp_removed} tmp removed — audit clean")
+            time.sleep(0.1)
+
+        # final recover + resume to completion (in-process, so the run
+        # manifest is inspectable) — the operator's documented sequence
+        recover_cache(chaos_cache)
+        final = SweepRunner(FlowSettings(scale=args.scale),
+                            cache_dir=chaos_cache)
+        results = final.run_all(jobs=2, resume=True)
+        assert final.last_manifest.ok, (
+            f"resumed sweep not clean: "
+            f"{[r.key for r in final.last_manifest.failures]}")
+        assert {key for key in results} == set(baseline_results), \
+            "resumed sweep lost experiments"
+
+        chaos = _artifact_digests(chaos_cache)
+        missing = set(baseline) - set(chaos)
+        extra = set(chaos) - set(baseline)
+        assert not missing, f"artifacts missing after recovery: {missing}"
+        assert not extra, f"unexpected artifacts after recovery: {extra}"
+        different = [name for name, digest in baseline.items()
+                     if chaos[name] != digest]
+        assert not different, (
+            f"artifacts differ from uninterrupted run: {different}")
+
+        state = json.loads(
+            (chaos_cache / "sweep_state.json").read_text())
+        assert state["status"] == "complete", state["status"]
+
+    print(f"\nchaos OK: {kills} kill -9 interruption(s) recovered; "
+          f"{len(chaos)} artifacts byte-identical to the uninterrupted "
+          f"run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ from pathlib import Path
 
 from repro.flow import FlowSettings, SweepRunner
 from repro.obs.render import to_chrome
-from repro.obs.session import OBS_DIR_NAME
+from repro.pipeline.artifacts import INTERNAL_DIRS
 from repro.pipeline.stages import (
     CHECKPOINT_STAGE,
     DETAILED_STAGE,
@@ -54,7 +54,8 @@ def _artifact_digests(cache_dir: Path) -> dict[str, str]:
         if not path.is_file():
             continue
         relative = path.relative_to(cache_dir)
-        if relative.parts[0] == OBS_DIR_NAME or relative.name in skip:
+        if relative.parts[0] in INTERNAL_DIRS or \
+                relative.suffix == ".lock" or relative.name in skip:
             continue
         digests[str(relative)] = hashlib.sha256(
             path.read_bytes()).hexdigest()

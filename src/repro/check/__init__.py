@@ -21,6 +21,11 @@ self-consistent (DESIGN.md §10):
 ``repro.check.runner``
     The ``repro-cli check`` entry point: runs all of the above against one
     (workload, config) pair and reports pass/fail.
+
+``repro.check.storage``
+    Consistency audit of the cache's concurrency metadata — intent
+    journals, work-claim leases, stray scratch files, sweep state and
+    the ``obs/latest`` pointer (``repro-cli recover --check``).
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ def set_checks_enabled(enabled: bool) -> None:
 
 from repro.check.differential import DifferentialReport, run_differential
 from repro.check.invariants import CoreInvariantChecker
+from repro.check.storage import StorageReport, validate_storage
 from repro.check.validators import (
     require_valid_result,
     validate_report,
@@ -60,10 +66,12 @@ __all__ = [
     "CHECK_ENV",
     "CoreInvariantChecker",
     "DifferentialReport",
+    "StorageReport",
     "checks_enabled",
     "require_valid_result",
     "run_differential",
     "set_checks_enabled",
     "validate_report",
     "validate_result",
+    "validate_storage",
 ]

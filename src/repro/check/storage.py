@@ -1,0 +1,194 @@
+"""Validators for the cache's concurrency metadata (DESIGN.md §12).
+
+Where :mod:`repro.check.validators` proves artifact *values* are
+physically possible, this module proves the cache's *bookkeeping* is
+consistent: every journal parses and follows the claim→commit/abort
+protocol, every lease names a live owner, no dead process left scratch
+files or a ``running`` sweep state behind, and the ``obs/latest``
+pointer resolves.  ``repro-cli recover --check`` runs it after (or
+instead of) a repair pass; a clean report is the machine-checkable
+statement that ``--resume`` can be trusted.
+
+Everything reported here is *diagnosable by recovery*: each problem
+string names the finding, and :func:`repro.pipeline.journal.recover_cache`
+is the repair for all of them.  Live processes' state (their journals,
+leases and tmp files) is never a problem — in-flight work is healthy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.pipeline.journal import (
+    QUARANTINE_DIR_NAME,
+    _iter_stray_tmp,
+    _tmp_pid,
+    open_intents,
+    read_journal,
+    journal_files,
+)
+from repro.pipeline.journal import _file_owner as _journal_owner
+from repro.pipeline.locking import WorkClaims, boot_id, process_alive
+
+__all__ = ["StorageReport", "validate_storage"]
+
+
+@dataclass
+class StorageReport:
+    """Findings of one storage-consistency pass."""
+
+    journals_scanned: int = 0
+    leases_scanned: int = 0
+    problems: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> dict:
+        return {"journals_scanned": self.journals_scanned,
+                "leases_scanned": self.leases_scanned,
+                "problems": list(self.problems),
+                "notes": list(self.notes)}
+
+    def format(self) -> str:
+        lines = [f"storage check: {self.journals_scanned} journal(s), "
+                 f"{self.leases_scanned} lease(s) scanned"]
+        if self.ok:
+            lines.append("  OK: journals, leases, sweep state and "
+                         "pointers are consistent")
+        else:
+            lines.extend(f"  PROBLEM: {problem}"
+                         for problem in self.problems)
+            lines.append("  (repro-cli recover repairs all of the above)")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _journal_owner_dead(path: Path) -> bool | None:
+    """True/False for a well-formed journal name, ``None`` if malformed."""
+    owner = _journal_owner(path)
+    if owner is None:
+        return None
+    pid, boot8 = owner
+    return not process_alive(pid, None if boot8 == boot_id()[:8] else boot8)
+
+
+def _check_journals(cache_root: Path, report: StorageReport) -> None:
+    for path in journal_files(cache_root):
+        report.journals_scanned += 1
+        dead = _journal_owner_dead(path)
+        if dead is None:
+            report.problems.append(
+                f"journal {path.name}: unparseable file name "
+                f"(expected intents-<boot>-<pid>.jsonl)")
+            continue
+        records = read_journal(path)
+        garbage = sum(1 for record in records if record.op == "garbage")
+        if garbage:
+            report.problems.append(
+                f"journal {path.name}: {garbage} corrupt record(s) "
+                f"before the final line")
+        claimed = {(r.stage, r.fingerprint) for r in records
+                   if r.op == "claim"}
+        for record in records:
+            if record.op == "commit" and \
+                    (record.stage, record.fingerprint) not in claimed:
+                report.problems.append(
+                    f"journal {path.name}: commit without claim for "
+                    f"{record.stage}/{record.fingerprint[:12]}")
+        pending = open_intents(records)
+        if dead and pending:
+            report.problems.append(
+                f"journal {path.name}: dead owner left "
+                f"{len(pending)} open claim(s) — artifacts may be torn")
+        elif not dead and pending:
+            report.notes.append(
+                f"journal {path.name}: {len(pending)} claim(s) "
+                f"in flight (owner alive)")
+
+
+def _check_leases(cache_root: Path, report: StorageReport) -> None:
+    for path, owner in WorkClaims(cache_root).iter_leases():
+        report.leases_scanned += 1
+        if owner is None:
+            report.problems.append(
+                f"lease {path.parent.name}/{path.name}: "
+                f"malformed owner record")
+        elif not process_alive(int(owner.get("pid", 0) or 0),
+                               owner.get("boot_id")):
+            report.problems.append(
+                f"lease {path.parent.name}/{path.name}: "
+                f"owner pid {owner.get('pid')} is dead")
+
+
+def _check_tmp(cache_root: Path, report: StorageReport) -> None:
+    for tmp in _iter_stray_tmp(cache_root):
+        pid = _tmp_pid(tmp)
+        if pid is not None and not process_alive(pid, None):
+            report.problems.append(
+                f"stray scratch {tmp.parent.name}/{tmp.name}: "
+                f"writer pid {pid} is dead")
+
+
+def _check_sweep_state(cache_root: Path, report: StorageReport) -> None:
+    state_path = cache_root / "sweep_state.json"
+    if not state_path.exists():
+        return
+    try:
+        state = json.loads(state_path.read_text())
+        if not isinstance(state, dict):
+            raise ValueError("not an object")
+    except (OSError, ValueError) as exc:
+        report.problems.append(f"sweep state: unparseable ({exc})")
+        return
+    owner = state.get("owner") or {}
+    if state.get("status") == "running" and \
+            not process_alive(int(owner.get("pid", 0) or 0),
+                              owner.get("boot_id")):
+        report.problems.append(
+            "sweep state: status 'running' but owner is dead "
+            "(interrupted sweep, --resume needs repair first)")
+
+
+def _check_pointer(cache_root: Path, report: StorageReport) -> None:
+    from repro.obs.session import LATEST_NAME, OBS_DIR_NAME
+
+    pointer = cache_root / OBS_DIR_NAME / LATEST_NAME
+    if not pointer.exists():
+        return
+    try:
+        name = pointer.read_text().strip()
+    except OSError:
+        name = ""
+    if not name or not (pointer.parent / name).is_dir():
+        report.problems.append(
+            f"obs/latest points at {name!r}, which does not exist")
+
+
+def validate_storage(cache_root: Path | str) -> StorageReport:
+    """Audit journals, leases, scratch files, state and pointers.
+
+    Read-only: never repairs anything.  A non-empty ``problems`` list
+    means :func:`repro.pipeline.journal.recover_cache` has work to do.
+    """
+    cache_root = Path(cache_root)
+    report = StorageReport()
+    if not cache_root.is_dir():
+        return report
+    _check_journals(cache_root, report)
+    _check_leases(cache_root, report)
+    _check_tmp(cache_root, report)
+    _check_sweep_state(cache_root, report)
+    _check_pointer(cache_root, report)
+    quarantine = cache_root / QUARANTINE_DIR_NAME
+    if quarantine.is_dir():
+        held = sum(1 for _ in quarantine.rglob("*") if _.is_file())
+        if held:
+            report.notes.append(
+                f"quarantine holds {held} file(s) from past recoveries "
+                f"(safe to delete once inspected)")
+    return report

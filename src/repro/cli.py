@@ -13,6 +13,7 @@ Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
     repro-cli check dijkstra MediumBOOM
     repro-cli cache stats
     repro-cli cache invalidate --stage detailed_sim
+    repro-cli recover --verify
     repro-cli bench --quick
 """
 
@@ -178,7 +179,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = runner.run_all(
         jobs=args.jobs, policy=policy, timeout=args.timeout,
         fail_fast=args.fail_fast, resume=args.resume,
-        trace=args.trace, progress=args.progress)
+        trace=args.trace, progress=args.progress,
+        deadline=args.deadline, max_rss_mb=args.max_rss,
+        min_free_mb=args.min_free_mb)
     if args.resume and runner.resumed_completed:
         print(f"resumed: {runner.resumed_completed} experiments already "
               f"complete from the interrupted run")
@@ -307,6 +310,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed += dropped
     print(f"removed {removed} artifacts from {args.cache_dir}")
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.check.storage import validate_storage
+    from repro.pipeline.journal import recover_cache
+
+    exit_code = 0
+    if not args.check_only:
+        report = recover_cache(args.cache_dir)
+        print(report.format())
+    if args.check_only or args.check_after:
+        storage = validate_storage(args.cache_dir)
+        print(storage.format())
+        if not storage.ok:
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -596,6 +615,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="live per-workload progress + ETA on stderr, tailing the "
              "simulator heartbeats (implies tracing)")
+    sweep_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; leftover work is "
+             "recorded (kind 'deadline') and the sweep degrades (exit 3)")
+    sweep_parser.add_argument(
+        "--max-rss", type=float, default=None, metavar="MB",
+        help="per-worker resident-set ceiling; offenders are terminated "
+             "and their tasks retried within the attempt budget")
+    sweep_parser.add_argument(
+        "--min-free-mb", type=float, default=None, metavar="MB",
+        help="refuse to start tasks once free disk under the cache "
+             "falls below this floor (kind 'disk-full', exit 3)")
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     trace_parser = commands.add_parser(
@@ -625,6 +656,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--stage", default=None,
         help="stage to invalidate (with everything downstream of it)")
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    recover_parser = commands.add_parser(
+        "recover", help="repair the cache after crashes: quarantine "
+                        "torn artifacts, release dead leases, fix "
+                        "sweep state so --resume is trustworthy")
+    recover_parser.add_argument(
+        "--check", dest="check_only", action="store_true",
+        help="audit only — report journal/lease/state inconsistencies "
+             "without repairing anything (exit 1 if problems found)")
+    recover_parser.add_argument(
+        "--verify", dest="check_after", action="store_true",
+        help="run the storage audit after repairing (exit 1 if "
+             "problems remain)")
+    recover_parser.set_defaults(handler=_cmd_recover)
 
     commands.add_parser(
         "workloads", help="list the benchmark suite").set_defaults(

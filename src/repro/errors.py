@@ -137,6 +137,67 @@ class ResultValidationError(CorruptArtifactError):
     """
 
 
+class LockTimeoutError(TransientError):
+    """A cross-process file lock could not be acquired in time.
+
+    Lock holders are live processes (fcntl locks die with their owner),
+    so waiting out a slow peer and retrying is the right response —
+    hence *transient*.
+    """
+
+    def __init__(self, path: str, timeout: float) -> None:
+        self.path = path
+        self.timeout = timeout
+        super().__init__(f"could not lock {path} within {timeout:g}s")
+
+
+class LeaseTimeoutError(TransientError):
+    """Waited too long for a work-claim winner to publish its artifact.
+
+    The holder was alive the whole time (dead holders are reclaimed
+    immediately), just slower than the wait budget; a retry will either
+    find the finished artifact or claim the lease itself.
+    """
+
+    def __init__(self, what: str, timeout: float) -> None:
+        self.what = what
+        self.timeout = timeout
+        super().__init__(f"gave up waiting {timeout:g}s for {what}")
+
+
+class ResourceError(ReproError):
+    """A resource guardrail refused to run (or continue) work.
+
+    Classified *permanent*: retrying a task on a full disk or past the
+    campaign deadline reproduces the refusal, so the scheduler records
+    it and degrades gracefully (exit 3) instead of burning retries.
+    """
+
+
+class DiskSpaceError(ResourceError):
+    """Free space under the cache fell below the configured reserve."""
+
+    def __init__(self, path: str, free_mb: float, floor_mb: float) -> None:
+        self.path = path
+        self.free_mb = free_mb
+        self.floor_mb = floor_mb
+        super().__init__(
+            f"{free_mb:.0f} MB free under {path} is below the "
+            f"{floor_mb:.0f} MB reserve floor")
+
+
+class MemoryBudgetError(ResourceError):
+    """A worker exceeded its per-task RSS ceiling and was terminated."""
+
+
+class DeadlineExceededError(ResourceError):
+    """The sweep's wall-clock budget ran out before all tasks were run."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery (``repro-cli recover``) hit unrepairable state."""
+
+
 class SchedulerError(ReproError):
     """Supervised sweep scheduler misuse or unrecoverable breakdown."""
 

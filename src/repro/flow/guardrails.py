@@ -1,0 +1,175 @@
+"""Resource guardrails for the supervised scheduler.
+
+Infrastructure kills campaigns more often than model bugs do: a full
+disk turns every artifact write into a torn file, one leaking worker
+OOMs the box and takes innocent neighbours with it, and a sweep with no
+deadline wedges a CI job forever.  :class:`ResourceGuard` packages the
+three defenses the scheduler consults while it runs:
+
+* **disk-space preflight** — before submitting work, free space under
+  the cache must clear a reserve floor (``min_free_mb``); below it,
+  remaining tasks are recorded as ``disk-full`` failures and the sweep
+  degrades (exit 3) instead of corrupting the cache;
+* **per-task RSS ceiling** — worker processes whose resident set grows
+  past ``max_rss_mb`` are terminated by the watchdog; the pool respawns
+  and the task retries within its normal attempt budget, so one leaky
+  task cannot OOM the machine;
+* **wall-clock deadline** — once ``deadline`` seconds elapse, queued
+  and in-flight work is abandoned and recorded (kind ``deadline``), and
+  everything already computed is kept.
+
+All probes are injectable for tests, and the ``guard.disk`` fault site
+(kind ``disk-full``) lets CI exercise the degradation path on a healthy
+disk.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import DiskSpaceError
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+__all__ = ["ResourceGuard", "read_rss_mb"]
+
+#: how often the scheduler wakes to run watchdog probes (seconds)
+WATCHDOG_POLL = 0.25
+
+
+def read_rss_mb(pid: int) -> float | None:
+    """Resident set size of ``pid`` in MB via ``/proc``, or ``None``.
+
+    Returns ``None`` when the process is gone or the platform has no
+    ``/proc`` — the watchdog then simply has nothing to enforce.
+    """
+    try:
+        text = Path(f"/proc/{pid}/status").read_text()
+    except OSError:
+        return None
+    for line in text.splitlines():
+        if line.startswith("VmRSS:"):
+            try:
+                return float(line.split()[1]) / 1024.0  # kB -> MB
+            except (IndexError, ValueError):
+                return None
+    return None
+
+
+class ResourceGuard:
+    """Disk / memory / wall-clock guardrails, shared by a whole sweep.
+
+    Inert by default: with every knob ``None`` (and no fault injector)
+    all checks pass for free, so callers can always construct one.
+    """
+
+    def __init__(self, cache_dir: Path | str | None = None, *,
+                 min_free_mb: float | None = None,
+                 max_rss_mb: float | None = None,
+                 deadline: float | None = None,
+                 faults: Any = None,
+                 disk_usage: Callable[[str], Any] = shutil.disk_usage,
+                 rss_probe: Callable[[int], float | None] = read_rss_mb,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.min_free_mb = min_free_mb
+        self.max_rss_mb = max_rss_mb
+        self.deadline = deadline
+        self.faults = faults
+        self._disk_usage = disk_usage
+        self._rss_probe = rss_probe
+        self._clock = clock
+        self._started: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ResourceGuard":
+        """Arm the deadline clock (idempotent)."""
+        if self._started is None:
+            self._started = self._clock()
+        return self
+
+    @property
+    def active(self) -> bool:
+        """Whether any guardrail can actually fire."""
+        return (self.min_free_mb is not None
+                or self.max_rss_mb is not None
+                or self.deadline is not None
+                or self.faults is not None)
+
+    # ------------------------------------------------------------------
+    # disk
+    # ------------------------------------------------------------------
+
+    def free_mb(self) -> float | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            return self._disk_usage(str(self.cache_dir)).free / 1e6
+        except OSError:
+            return None
+
+    def preflight_disk(self, key: str = "") -> None:
+        """Raise :class:`DiskSpaceError` when below the reserve floor."""
+        if self.faults is not None and self.faults.disk_full("guard.disk",
+                                                             key):
+            get_metrics().counter("guard.disk_full").inc()
+            raise DiskSpaceError(str(self.cache_dir or "."), 0.0,
+                                 self.min_free_mb or 0.0)
+        if self.min_free_mb is None:
+            return
+        free = self.free_mb()
+        if free is not None and free < self.min_free_mb:
+            get_metrics().counter("guard.disk_full").inc()
+            get_tracer().event("guard.disk_full", key=key, free_mb=free,
+                               floor_mb=self.min_free_mb)
+            raise DiskSpaceError(str(self.cache_dir or "."), free,
+                                 self.min_free_mb)
+
+    # ------------------------------------------------------------------
+    # wall clock
+    # ------------------------------------------------------------------
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (``None`` = unbounded)."""
+        if self.deadline is None or self._started is None:
+            return None
+        return self.deadline - (self._clock() - self._started)
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def rss_overages(self, pids: Iterable[int]) -> list[tuple[int, float]]:
+        """Workers over the RSS ceiling, as ``(pid, rss_mb)`` pairs."""
+        if self.max_rss_mb is None:
+            return []
+        overages: list[tuple[int, float]] = []
+        for pid in pids:
+            rss = self._rss_probe(pid)
+            if rss is not None and rss > self.max_rss_mb:
+                overages.append((pid, rss))
+        return overages
+
+    # ------------------------------------------------------------------
+    # scheduler integration
+    # ------------------------------------------------------------------
+
+    def poll_interval(self) -> float | None:
+        """Upper bound on how long the scheduler may sleep between probes."""
+        candidates: list[float] = []
+        if self.max_rss_mb is not None:
+            candidates.append(WATCHDOG_POLL)
+        remaining = self.remaining()
+        if remaining is not None:
+            candidates.append(max(0.0, remaining))
+        return min(candidates) if candidates else None

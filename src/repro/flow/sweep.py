@@ -44,8 +44,14 @@ from pathlib import Path
 from time import perf_counter, sleep as _sleep
 from typing import Iterable
 
-from repro.errors import PERMANENT, TRANSIENT, classify_failure
+from repro.errors import (
+    PERMANENT,
+    TRANSIENT,
+    DiskSpaceError,
+    classify_failure,
+)
 from repro.flow.experiment import FlowSettings
+from repro.flow.guardrails import ResourceGuard
 from repro.flow.results import ExperimentResult
 from repro.flow.scheduler import (
     RetryPolicy,
@@ -64,6 +70,7 @@ from repro.pipeline.artifacts import (
     atomic_write_text,
 )
 from repro.pipeline.faults import FaultInjector
+from repro.pipeline.locking import FileLock, owner_token
 from repro.pipeline.manifest import RunManifest, TaskRecord
 from repro.pipeline.stages import ExperimentPipeline, RESULT_STAGE
 from repro.uarch.config import ALL_CONFIGS, BoomConfig
@@ -193,7 +200,10 @@ class SweepRunner:
                 fail_fast: bool = False,
                 resume: bool = False,
                 trace: bool = False,
-                progress: bool = False) \
+                progress: bool = False,
+                deadline: float | None = None,
+                max_rss_mb: float | None = None,
+                min_free_mb: float | None = None) \
             -> dict[tuple[str, str], ExperimentResult]:
         """The full study: every workload on every configuration.
 
@@ -227,6 +237,16 @@ class SweepRunner:
         ``progress=True`` additionally tails the heartbeats live and
         prints per-workload progress to stderr.  Tracing never alters
         artifacts or fingerprints; it requires a cache directory.
+
+        The three resource guardrails degrade a sweep gracefully
+        instead of wedging or corrupting it: ``deadline`` bounds the
+        whole campaign's wall clock (leftover work is recorded with
+        kind ``deadline``), ``max_rss_mb`` arms a watchdog that
+        terminates workers past the RSS ceiling (the task retries
+        within its budget), and ``min_free_mb`` refuses to start tasks
+        once free disk under the cache falls below the reserve floor
+        (kind ``disk-full``).  Any recorded guardrail event leaves the
+        manifest degraded, which ``repro-cli sweep`` turns into exit 3.
         """
         started = perf_counter()
         before = self.store.stats_snapshot()
@@ -247,6 +267,10 @@ class SweepRunner:
         outcome = ScheduleOutcome()
         self.resumed_completed = 0
         pending_pairs = self._apply_resume(pairs, sweep_id, resume, outcome)
+        guard = ResourceGuard(
+            self.cache_dir, min_free_mb=min_free_mb,
+            max_rss_mb=max_rss_mb, deadline=deadline,
+            faults=self.store.faults).start()
         session, monitor = self._start_observability(trace, progress)
         self._state = {
             "sweep_id": sweep_id,
@@ -254,6 +278,7 @@ class SweepRunner:
             "completed": [],
             "failures": [record.to_dict() for record in outcome.failures],
             "status": "running",
+            "owner": owner_token(),
         }
         self._write_state()
         results: dict[tuple[str, str], ExperimentResult] = {}
@@ -261,10 +286,11 @@ class SweepRunner:
             if jobs > 1:
                 self._run_parallel(pending_pairs, jobs, results, outcome,
                                    policy=policy, timeout=timeout,
-                                   fail_fast=fail_fast)
+                                   fail_fast=fail_fast, guard=guard)
             else:
                 self._run_serial(pending_pairs, results, outcome,
-                                 policy=policy, fail_fast=fail_fast)
+                                 policy=policy, fail_fast=fail_fast,
+                                 guard=guard)
         finally:
             trace_path = self._finish_observability(session, monitor)
         manifest = RunManifest.delta(
@@ -333,9 +359,27 @@ class SweepRunner:
     def _run_serial(self, pairs: list[tuple[str, BoomConfig]],
                     results: dict[tuple[str, str], ExperimentResult],
                     outcome: ScheduleOutcome, *, policy: RetryPolicy,
-                    fail_fast: bool) -> None:
+                    fail_fast: bool,
+                    guard: ResourceGuard | None = None) -> None:
         for index, (workload, config) in enumerate(pairs):
             key = _pair_key(workload, config)
+            if guard is not None and guard.expired():
+                for later_workload, later_config in pairs[index:]:
+                    outcome.timeouts.append(TaskRecord(
+                        key=_pair_key(later_workload, later_config),
+                        kind="deadline",
+                        error=f"abandoned: {guard.deadline:g}s sweep "
+                              f"deadline exceeded", attempts=0))
+                return
+            if guard is not None:
+                try:
+                    guard.preflight_disk(key)
+                except DiskSpaceError as exc:
+                    for later_workload, later_config in pairs[index:]:
+                        outcome.failures.append(TaskRecord(
+                            key=_pair_key(later_workload, later_config),
+                            kind="disk-full", error=str(exc), attempts=0))
+                    return
             attempts = 0
             while True:
                 attempts += 1
@@ -376,7 +420,8 @@ class SweepRunner:
     def _run_parallel(self, pairs: list[tuple[str, BoomConfig]], jobs: int,
                       results: dict[tuple[str, str], ExperimentResult],
                       outcome: ScheduleOutcome, *, policy: RetryPolicy,
-                      timeout: float | None, fail_fast: bool) -> None:
+                      timeout: float | None, fail_fast: bool,
+                      guard: ResourceGuard | None = None) -> None:
         pipeline = self.pipeline
         pending: list[tuple[str, BoomConfig]] = []
         for workload, config in pairs:
@@ -409,7 +454,7 @@ class SweepRunner:
 
         scheduler = SupervisedScheduler(
             max_workers=jobs, policy=policy, timeout=timeout,
-            fail_fast=fail_fast)
+            fail_fast=fail_fast, guard=guard)
 
         inline: dict[str, tuple] = {}
 
@@ -565,11 +610,37 @@ class SweepRunner:
         self._write_state()
 
     def _write_state(self) -> None:
+        """Persist sweep progress with a locked read-modify-write merge.
+
+        Concurrent sweeps over the same cache each rewrite the shared
+        ``sweep_state.json``; without the lock-and-merge, whichever
+        process wrote last would erase the other's ``completed`` keys
+        and ``--resume`` would silently redo (or worse, mis-carry) work.
+        Under the lock, completions from a concurrent run of the *same*
+        sweep are folded in; a state file from a different sweep is
+        simply replaced.
+        """
         path = self._state_path()
         if path is None:
             return
-        atomic_write_text(path, json.dumps(self._state, indent=2,
-                                           sort_keys=True))
+        lock = path.with_name(path.name + ".lock")
+        with FileLock(lock):
+            prior = self._load_state(self._state["sweep_id"])
+            if prior is not None:
+                merged = list(self._state["completed"])
+                known = set(merged)
+                for key in prior.get("completed", []):
+                    if key not in known:
+                        known.add(key)
+                        merged.append(key)
+                self._state["completed"] = merged
+                ours = {record["key"]
+                        for record in self._state["failures"]}
+                for record in prior.get("failures", []):
+                    if record.get("key") not in ours:
+                        self._state["failures"].append(record)
+            atomic_write_text(path, json.dumps(self._state, indent=2,
+                                               sort_keys=True))
 
     # ------------------------------------------------------------------
     # observability

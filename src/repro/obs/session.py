@@ -140,9 +140,13 @@ class TraceSession:
             pass
 
     def _point_latest(self) -> None:
+        # The temp name carries the pid: two traced runs finishing at
+        # the same moment must not share a scratch file, or one process
+        # can rename the other's half-written pointer into place.  The
+        # final flip is a single atomic rename either way.
         pointer = self.run_dir.parent / LATEST_NAME
         try:
-            tmp = pointer.with_name(pointer.name + ".tmp")
+            tmp = pointer.with_name(f"{pointer.name}.tmp{os.getpid()}")
             tmp.write_text(self.run_id + "\n")
             tmp.replace(pointer)
         except OSError:

@@ -13,6 +13,20 @@ from repro.pipeline.faults import (
     InjectedFailure,
     parse_fault_spec,
 )
+from repro.pipeline.journal import (
+    IntentJournal,
+    JournalRecord,
+    RecoveryReport,
+    recover_cache,
+)
+from repro.pipeline.locking import (
+    FileLock,
+    Lease,
+    WorkClaims,
+    boot_id,
+    owner_token,
+    process_alive,
+)
 from repro.pipeline.manifest import RunManifest, TaskRecord
 from repro.pipeline.stages import (
     CHECKPOINT_STAGE,
@@ -37,6 +51,16 @@ __all__ = [
     "FaultSpec",
     "InjectedFailure",
     "parse_fault_spec",
+    "FileLock",
+    "IntentJournal",
+    "JournalRecord",
+    "Lease",
+    "RecoveryReport",
+    "WorkClaims",
+    "boot_id",
+    "owner_token",
+    "process_alive",
+    "recover_cache",
     "RunManifest",
     "TaskRecord",
     "ExperimentPipeline",

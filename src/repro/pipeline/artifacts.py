@@ -31,9 +31,19 @@ files *and* checkpoint directories) is written to a temporary sibling
 and atomically renamed into place, so a crash mid-write can never leave
 a torn file that later parses as corrupt.
 
+Disk-backed stores are additionally safe for N concurrent, mutually
+unaware processes (DESIGN.md §12): every miss is arbitrated through a
+lease-based *work claim* (:mod:`repro.pipeline.locking`) so exactly one
+process computes a given fingerprint while the others block-with-timeout
+and then read the winner's bytes, and every persisted write is bracketed
+by a write-ahead intent journal (:mod:`repro.pipeline.journal`) so a
+``kill -9`` mid-commit is detectable and repairable by ``repro-cli
+recover``.
+
 A store can carry a :class:`~repro.pipeline.faults.FaultInjector`; the
-``artifact.read``, ``artifact.write`` and ``stage.<name>`` injection
-sites live here (see :mod:`repro.pipeline.faults`).
+``artifact.read``, ``artifact.write``, ``lease.claim`` and
+``stage.<name>`` injection sites live here (see
+:mod:`repro.pipeline.faults`).
 """
 
 from __future__ import annotations
@@ -45,12 +55,19 @@ import shutil
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Callable, Mapping
 
+from repro.errors import LeaseTimeoutError
 from repro.obs.metrics import get_metrics
 from repro.obs.session import OBS_DIR_NAME
 from repro.obs.tracer import get_tracer
+from repro.pipeline.journal import (
+    IntentJournal,
+    JOURNAL_DIR_NAME,
+    QUARANTINE_DIR_NAME,
+)
+from repro.pipeline.locking import LEASE_DIR_NAME, WorkClaims
 
 #: bump when the simulation/power models change to invalidate cached
 #: artifacts (the old whole-experiment sweep cache used the same knob)
@@ -59,7 +76,25 @@ MODEL_VERSION = 11
 #: bump when the artifact layout or fingerprint recipe changes
 ARTIFACT_FORMAT = 1
 
+#: cache-root subdirectories that are infrastructure, not stages
+INTERNAL_DIRS = frozenset({OBS_DIR_NAME, JOURNAL_DIR_NAME,
+                           QUARANTINE_DIR_NAME, LEASE_DIR_NAME,
+                           "fault_state"})
+
+#: how long a lease waiter blocks on a live winner before declaring the
+#: wait transient-failed (retried by the scheduler); override with
+#: REPRO_LEASE_TIMEOUT
+DEFAULT_LEASE_TIMEOUT = 600.0
+LEASE_TIMEOUT_ENV = "REPRO_LEASE_TIMEOUT"
+
 _MISSING = object()
+
+
+def default_lease_timeout() -> float:
+    try:
+        return float(os.environ.get(LEASE_TIMEOUT_ENV, ""))
+    except ValueError:
+        return DEFAULT_LEASE_TIMEOUT
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -164,11 +199,22 @@ class ArtifactStore:
     """
 
     def __init__(self, root: Path | str | None = None,
-                 faults: Any = None) -> None:
+                 faults: Any = None,
+                 lease_timeout: float | None = None,
+                 lease_poll: float = 0.05) -> None:
         self.root = Path(root) if root is not None else None
         self.faults = faults  # optional repro.pipeline.faults.FaultInjector
         self._memory: dict[tuple[str, str], Any] = {}
         self._stats: dict[str, StageStats] = defaultdict(StageStats)
+        # cross-process safety: work claims dedupe concurrent computes of
+        # one fingerprint; the journal brackets every persisted write so
+        # `repro-cli recover` can prove (or repair) cache integrity after
+        # a hard kill.  Both are inert for memory-only stores.
+        self.claims = WorkClaims(self.root)
+        self.journal = IntentJournal(self.root)
+        self.lease_timeout = (lease_timeout if lease_timeout is not None
+                              else default_lease_timeout())
+        self.lease_poll = lease_poll
 
     # ------------------------------------------------------------------
     # fingerprints and paths
@@ -225,12 +271,20 @@ class ArtifactStore:
 
     def _write_text(self, stage: str, fingerprint: str, path: Path,
                     text: str) -> None:
+        key = f"{stage}/{fingerprint}"
         if self.faults is not None:
-            self.faults.inject("artifact.write", f"{stage}/{fingerprint}")
+            self.faults.inject("artifact.write", key)
+        self.journal.claim(stage, fingerprint, path)
+        if self.faults is not None and \
+                self.faults.tear_commit("artifact.write", key, path):
+            # injected kill-9 between rename and commit: the claim above
+            # stays open, garbage sits at the final path, and the write
+            # itself fails transiently (retried / recovered)
+            raise OSError(f"injected torn commit at {key}")
         atomic_write_text(path, text)
         if self.faults is not None:
-            self.faults.corrupt_file("artifact.write",
-                                     f"{stage}/{fingerprint}", path)
+            self.faults.corrupt_file("artifact.write", key, path)
+        self.journal.commit(stage, fingerprint)
         self._observe("write", stage, fingerprint, bytes=len(text))
 
     def _observe(self, kind: str, stage: str, fingerprint: str,
@@ -310,6 +364,11 @@ class ArtifactStore:
         ``fallback`` (optional) is consulted after a cache miss but
         before recomputation — the hook the sweep runner uses to migrate
         results from the legacy whole-experiment cache layout.
+
+        On a disk-backed store the compute path is claim-arbitrated:
+        exactly one process executes ``compute`` for a given
+        fingerprint; concurrent callers block on the winner's artifact
+        (``lease.dedupe``) instead of duplicating the work.
         """
         value = self.peek_json(stage, fingerprint, decode=decode,
                                label=label)
@@ -320,6 +379,94 @@ class ArtifactStore:
             if value is not None:
                 self.import_legacy(stage, fingerprint, value, encode=encode)
                 return value
+        probe = lambda: self.peek_json(stage, fingerprint, decode=decode,
+                                       label=label)
+        lease, value = self._arbitrate(stage, fingerprint, probe)
+        if lease is None:  # a peer computed it while we waited
+            return value
+        try:
+            value = self._execute(stage, fingerprint, compute, label)
+            self.put_json(stage, fingerprint, value, encode=encode)
+        finally:
+            lease.release()
+        return value
+
+    # ------------------------------------------------------------------
+    # cross-process work claims
+    # ------------------------------------------------------------------
+
+    def _claim_lease(self, stage: str, fingerprint: str):
+        path = self.claims.lease_path(stage, fingerprint)
+        if path is not None and self.faults is not None:
+            self.faults.plant_stale_lease("lease.claim",
+                                          f"{stage}/{fingerprint}", path)
+        return self.claims.claim(stage, fingerprint)
+
+    def _arbitrate(self, stage: str, fingerprint: str,
+                   probe: Callable[[], Any]) -> tuple[Any, Any]:
+        """Decide who computes one missing artifact.
+
+        Returns ``(lease, None)`` when this process won the work claim
+        and must compute (release the lease when done), or
+        ``(None, value)`` when a concurrent process published the
+        artifact while we waited.
+        """
+        while True:
+            lease = self._claim_lease(stage, fingerprint)
+            if lease is not None:
+                # double-check under the lease: a peer may have
+                # committed between our miss probe and our claim
+                value = probe()
+                if value is not None:
+                    lease.release()
+                    self._observe_dedupe(stage, fingerprint, 0.0)
+                    return None, value
+                return lease, None
+            value = self._wait_for_peer(stage, fingerprint, probe)
+            if value is not None:
+                return None, value
+            # the holder died without publishing: loop and reclaim
+
+    def _wait_for_peer(self, stage: str, fingerprint: str,
+                       probe: Callable[[], Any]) -> Any:
+        """Block on the claim holder's artifact; ``None`` if it died.
+
+        A live-but-slow holder past ``lease_timeout`` raises
+        :class:`~repro.errors.LeaseTimeoutError` (transient — the
+        scheduler retries, by which time the artifact usually exists).
+        """
+        started = monotonic()
+        deadline = started + self.lease_timeout
+        while True:
+            value = probe()
+            if value is not None:
+                self._observe_dedupe(stage, fingerprint,
+                                     monotonic() - started)
+                return value
+            if not self.claims.holder_alive(stage, fingerprint):
+                # the lease was released (or its owner died): probe once
+                # more — a finished winner writes its artifact *before*
+                # releasing, so this read is race-free
+                value = probe()
+                if value is not None:
+                    self._observe_dedupe(stage, fingerprint,
+                                         monotonic() - started)
+                return value
+            if monotonic() >= deadline:
+                raise LeaseTimeoutError(f"{stage}/{fingerprint}",
+                                        self.lease_timeout)
+            sleep(self.lease_poll)
+
+    def _observe_dedupe(self, stage: str, fingerprint: str,
+                        waited: float) -> None:
+        get_metrics().counter("lease.dedupe").inc()
+        get_metrics().histogram("lease.wait_seconds").observe(waited)
+        get_tracer().event("lease.dedupe", stage=stage,
+                           fingerprint=fingerprint, seconds=waited)
+
+    def _execute(self, stage: str, fingerprint: str,
+                 compute: Callable[[], Any], label: str | None) -> Any:
+        """Run one stage compute with miss/execution/timing accounting."""
         self._stats[stage].misses += 1
         self._observe("miss", stage, fingerprint, label=label)
         if self.faults is not None:
@@ -333,7 +480,6 @@ class ArtifactStore:
         elapsed = perf_counter() - started
         stats.seconds += elapsed
         get_metrics().histogram(f"stage.{stage}.seconds").observe(elapsed)
-        self.put_json(stage, fingerprint, value, encode=encode)
         return value
 
     # ------------------------------------------------------------------
@@ -363,6 +509,38 @@ class ArtifactStore:
         fails to load — truncated blob, garbage manifest — is treated as
         corrupt: it is deleted and the stage recomputes.
         """
+        probe = lambda: self._peek_dir(stage, fingerprint, load, label)
+        value = probe()
+        if value is not None:
+            return value
+        lease, value = self._arbitrate(stage, fingerprint, probe)
+        if lease is None:
+            return value
+        try:
+            value = self._execute(stage, fingerprint, compute, label)
+            path = self.dir_path(stage, fingerprint)
+            if path is not None:
+                # build the directory next to its final home, then
+                # promote it atomically — a crash mid-save leaves only a
+                # tmp tree (cleaned by `repro-cli recover`)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+                if tmp.exists():
+                    shutil.rmtree(tmp)
+                save(tmp, value)
+                self.journal.claim(stage, fingerprint, path)
+                atomic_replace_dir(tmp, path)
+                self.journal.commit(stage, fingerprint)
+                self._observe("write", stage, fingerprint, label=label)
+            self._memory[(stage, fingerprint)] = value
+        finally:
+            lease.release()
+        return value
+
+    def _peek_dir(self, stage: str, fingerprint: str,
+                  load: Callable[[Path], Any],
+                  label: str | None) -> Any:
+        """Cache-only lookup of a directory artifact (hits count)."""
         key = (stage, fingerprint)
         if key in self._memory:
             self._stats[stage].hits += 1
@@ -370,42 +548,18 @@ class ArtifactStore:
                           label=label)
             return self._memory[key]
         path = self.dir_path(stage, fingerprint)
-        if path is not None and path.exists():
-            try:
-                value = load(path)
-            except Exception:
-                self._stats[stage].corrupt += 1
-                self._observe("corrupt", stage, fingerprint, label=label)
-                shutil.rmtree(path, ignore_errors=True)
-            else:
-                self._stats[stage].hits += 1
-                self._observe("hit", stage, fingerprint, source="disk",
-                              label=label)
-                self._memory[key] = value
-                return value
-        self._stats[stage].misses += 1
-        self._observe("miss", stage, fingerprint, label=label)
-        if self.faults is not None:
-            self.faults.inject(f"stage.{stage}", fingerprint)
-        started = perf_counter()
-        with get_tracer().span(f"stage.{stage}", fingerprint=fingerprint,
-                               **({"label": label} if label else {})):
-            value = compute()
-        stats = self._stats[stage]
-        stats.executions += 1
-        elapsed = perf_counter() - started
-        stats.seconds += elapsed
-        get_metrics().histogram(f"stage.{stage}.seconds").observe(elapsed)
-        if path is not None:
-            # build the directory next to its final home, then promote
-            # it atomically — a crash mid-save leaves only a tmp tree
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            if tmp.exists():
-                shutil.rmtree(tmp)
-            save(tmp, value)
-            atomic_replace_dir(tmp, path)
-            self._observe("write", stage, fingerprint, label=label)
+        if path is None or not path.exists():
+            return None
+        try:
+            value = load(path)
+        except Exception:
+            self._stats[stage].corrupt += 1
+            self._observe("corrupt", stage, fingerprint, label=label)
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        self._stats[stage].hits += 1
+        self._observe("hit", stage, fingerprint, source="disk",
+                      label=label)
         self._memory[key] = value
         return value
 
@@ -419,8 +573,8 @@ class ArtifactStore:
         if self.root is None or not self.root.exists():
             return counts
         for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir() or stage_dir.name == OBS_DIR_NAME:
-                continue  # trace runs live beside artifacts, not in them
+            if not stage_dir.is_dir() or stage_dir.name in INTERNAL_DIRS:
+                continue  # infrastructure dirs live beside artifacts
             number = 0
             size = 0
             for entry in stage_dir.iterdir():
@@ -458,7 +612,8 @@ class ArtifactStore:
         stages = {key[0] for key in self._memory}
         if self.root is not None and self.root.exists():
             stages.update(entry.name for entry in self.root.iterdir()
-                          if entry.is_dir() and entry.name != OBS_DIR_NAME)
+                          if entry.is_dir()
+                          and entry.name not in INTERNAL_DIRS)
         for stage in stages:
             removed += self.invalidate_stage(stage)
         for path in self.legacy_files():
@@ -468,5 +623,11 @@ class ArtifactStore:
             manifest = self.root / "run_manifest.json"
             if manifest.exists():
                 manifest.unlink()
+            # journal, leases and quarantine describe artifacts that no
+            # longer exist; obs trace runs are kept
+            self.journal.close()
+            for name in (JOURNAL_DIR_NAME, LEASE_DIR_NAME,
+                         QUARANTINE_DIR_NAME, "fault_state"):
+                shutil.rmtree(self.root / name, ignore_errors=True)
         self._memory.clear()
         return removed

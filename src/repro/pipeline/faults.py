@@ -36,6 +36,22 @@ Fault kinds:
              numeric leaf to a semantically impossible value (a negative
              power) — exercises the :mod:`repro.check` validators, which
              must catch what JSON decoding alone cannot.
+``lock-steal``
+             at a ``lease.claim`` site, plant a lease owned by a
+             provably dead process before the real claim runs —
+             exercises the stale-lease reclamation path in
+             :mod:`repro.pipeline.locking`.
+``torn-commit``
+             at an ``artifact.write`` site, leave exactly the on-disk
+             state a ``kill -9`` between rename and journal-commit
+             would: a garbage file at the final path, a journaled claim
+             with no commit, and a raised transient ``OSError`` —
+             exercises both the corrupt-discard retry and the
+             ``repro-cli recover`` quarantine pass.
+``disk-full``
+             at a ``guard.disk`` site, report the disk as full —
+             exercises the resource-guardrail degradation path
+             (:class:`repro.errors.DiskSpaceError`, exit 3).
 
 Specs are compact strings so they can ride inside the frozen
 :class:`~repro.flow.experiment.FlowSettings` and the ``REPRO_FAULTS``
@@ -72,7 +88,8 @@ from repro.errors import ReproError
 __all__ = ["FaultSpec", "FaultInjector", "InjectedFailure",
            "parse_fault_spec", "FAULT_KINDS", "FAULTS_ENV", "FAULT_SEED_ENV"]
 
-FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt", "skew")
+FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt", "skew",
+               "lock-steal", "torn-commit", "disk-full")
 
 FAULTS_ENV = "REPRO_FAULTS"
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
@@ -250,6 +267,44 @@ class FaultInjector:
             raise OSError(f"injected transient I/O fault at {site} ({key})")
         raise InjectedFailure(
             f"injected permanent failure at {site} ({key})")
+
+    def plant_stale_lease(self, site: str, key: str, path: Path) -> bool:
+        """Forge a dead-owner lease at ``path`` if ``lock-steal`` fires.
+
+        The planted owner carries an impossible boot id, so the
+        liveness probe in :mod:`repro.pipeline.locking` classifies it
+        dead and the claimant must exercise its reclamation path.
+        Returns whether a fault fired.
+        """
+        spec = self.decide(site, key, kinds=("lock-steal",))
+        if spec is None:
+            return False
+        import json
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"pid": os.getpid(), "boot_id": "injected-dead-boot",
+             "acquired": 0.0}), encoding="utf-8")
+        return True
+
+    def tear_commit(self, site: str, key: str, path: Path) -> bool:
+        """Leave kill-9-between-rename-and-commit state if the fault fires.
+
+        The caller (the artifact store's write path) has already
+        journaled the claim; this writes garbage to the *final* path
+        and reports ``True`` so the caller skips the atomic write and
+        the commit record, then raises a transient ``OSError``.
+        """
+        spec = self.decide(site, key, kinds=("torn-commit",))
+        if spec is None:
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"injected": "torn commit', encoding="utf-8")
+        return True
+
+    def disk_full(self, site: str, key: str) -> bool:
+        """Whether an injected ``disk-full`` fault fires at ``site``."""
+        return self.decide(site, key, kinds=("disk-full",)) is not None
 
     def corrupt_file(self, site: str, key: str, path: Path) -> bool:
         """Damage ``path`` if a ``corrupt``/``skew`` fault fires.

@@ -1,0 +1,135 @@
+"""Tests for the cache concurrency-metadata audit."""
+
+import json
+import multiprocessing
+import os
+
+from repro.check.storage import validate_storage
+from repro.pipeline.journal import IntentJournal, recover_cache
+from repro.pipeline.locking import WorkClaims, boot_id
+
+
+def _dead_pid():
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+def _journal_path(cache, pid):
+    directory = cache / "journal"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / f"intents-{boot_id()[:8]}-{pid}.jsonl"
+
+
+def test_missing_cache_is_ok(tmp_path):
+    assert validate_storage(tmp_path / "nope").ok
+
+
+def test_clean_cache_is_ok(tmp_path):
+    (tmp_path / "power_report").mkdir()
+    report = validate_storage(tmp_path)
+    assert report.ok
+    assert "OK" in report.format()
+
+
+def test_live_inflight_claim_is_a_note_not_a_problem(tmp_path):
+    journal = IntentJournal(tmp_path)
+    journal.claim("stage", "fp", tmp_path / "stage" / "fp.json")
+    journal.close()
+    report = validate_storage(tmp_path)
+    assert report.ok
+    assert any("in flight" in note for note in report.notes)
+
+
+def test_dead_owner_open_claim_is_a_problem(tmp_path):
+    _journal_path(tmp_path, _dead_pid()).write_text(json.dumps(
+        {"op": "claim", "stage": "s", "fingerprint": "f",
+         "path": "x"}) + "\n")
+    report = validate_storage(tmp_path)
+    assert not report.ok
+    assert any("open claim" in problem for problem in report.problems)
+    assert "recover" in report.format()
+
+
+def test_commit_without_claim_is_a_problem(tmp_path):
+    _journal_path(tmp_path, os.getpid()).write_text(json.dumps(
+        {"op": "commit", "stage": "s", "fingerprint": "f"}) + "\n")
+    report = validate_storage(tmp_path)
+    assert any("commit without claim" in problem
+               for problem in report.problems)
+
+
+def test_mid_file_garbage_is_a_problem(tmp_path):
+    _journal_path(tmp_path, os.getpid()).write_text(
+        "{garbage\n" + json.dumps(
+            {"op": "claim", "stage": "s", "fingerprint": "f",
+             "path": "x"}) + "\n")
+    report = validate_storage(tmp_path)
+    assert any("corrupt record" in problem for problem in report.problems)
+
+
+def test_dead_lease_is_a_problem(tmp_path):
+    claims = WorkClaims(tmp_path)
+    path = claims.lease_path("stage", "fp")
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"pid": _dead_pid(),
+                                "boot_id": boot_id()}))
+    report = validate_storage(tmp_path)
+    assert report.leases_scanned == 1
+    assert any("dead" in problem for problem in report.problems)
+
+
+def test_live_lease_is_fine(tmp_path):
+    lease = WorkClaims(tmp_path).claim("stage", "fp")
+    assert validate_storage(tmp_path).ok
+    lease.release()
+
+
+def test_dead_tmp_stray_is_a_problem(tmp_path):
+    stage = tmp_path / "checkpoints"
+    stage.mkdir()
+    (stage / f"abc.tmp{_dead_pid()}").mkdir()
+    report = validate_storage(tmp_path)
+    assert any("stray scratch" in problem for problem in report.problems)
+
+
+def test_dead_running_sweep_state_is_a_problem(tmp_path):
+    (tmp_path / "sweep_state.json").write_text(json.dumps(
+        {"sweep_id": "x", "status": "running",
+         "owner": {"pid": _dead_pid(), "boot_id": boot_id()}}))
+    report = validate_storage(tmp_path)
+    assert any("interrupted sweep" in problem
+               for problem in report.problems)
+
+
+def test_dangling_pointer_is_a_problem(tmp_path):
+    obs = tmp_path / "obs"
+    obs.mkdir()
+    (obs / "latest").write_text("gone-run\n")
+    report = validate_storage(tmp_path)
+    assert any("obs/latest" in problem for problem in report.problems)
+
+
+def test_recover_then_validate_round_trip(tmp_path):
+    """Every auditable fault recover_cache repairs must audit clean."""
+    artifact = tmp_path / "power_report" / "torn.json"
+    artifact.parent.mkdir(parents=True)
+    artifact.write_text("{half")
+    pid = _dead_pid()
+    _journal_path(tmp_path, pid).write_text(json.dumps(
+        {"op": "claim", "stage": "power_report", "fingerprint": "torn",
+         "path": str(artifact)}) + "\n")
+    claims = WorkClaims(tmp_path)
+    lease_path = claims.lease_path("power_report", "torn")
+    lease_path.parent.mkdir(parents=True)
+    lease_path.write_text(json.dumps({"pid": pid, "boot_id": boot_id()}))
+    (tmp_path / "sweep_state.json").write_text(json.dumps(
+        {"sweep_id": "x", "status": "running",
+         "owner": {"pid": pid, "boot_id": boot_id()}}))
+
+    assert not validate_storage(tmp_path).ok
+    assert not recover_cache(tmp_path).clean
+    after = validate_storage(tmp_path)
+    assert after.ok, after.problems
+    assert any("quarantine" in note for note in after.notes)

@@ -1,0 +1,162 @@
+"""Tests for resource guardrails and their scheduler integration."""
+
+import os
+from collections import namedtuple
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import DiskSpaceError
+from repro.flow.guardrails import ResourceGuard, read_rss_mb
+from repro.flow.scheduler import RetryPolicy, SupervisedScheduler, Task
+
+_Usage = namedtuple("Usage", "total used free")
+
+
+def _guard(free_mb=None, **kwargs):
+    if free_mb is not None:
+        kwargs["disk_usage"] = \
+            lambda _path: _Usage(0, 0, int(free_mb * 1e6))
+    return ResourceGuard("/tmp/cache", **kwargs)
+
+
+def _threaded(guard, **kwargs):
+    kwargs.setdefault("sleep", lambda _delay: None)
+    return SupervisedScheduler(
+        2, guard=guard,
+        executor_factory=lambda workers: ThreadPoolExecutor(workers),
+        **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the guard itself
+# ----------------------------------------------------------------------
+
+def test_unarmed_guard_is_inert():
+    guard = ResourceGuard()
+    assert not guard.active
+    guard.preflight_disk("any")  # all checks pass for free
+    assert not guard.expired()
+    assert guard.rss_overages([os.getpid()]) == []
+    assert guard.poll_interval() is None
+
+
+def test_disk_preflight_raises_below_floor():
+    guard = _guard(free_mb=10.0, min_free_mb=100.0)
+    with pytest.raises(DiskSpaceError) as excinfo:
+        guard.preflight_disk("qsort/MediumBOOM")
+    assert excinfo.value.free_mb == pytest.approx(10.0)
+    assert excinfo.value.floor_mb == pytest.approx(100.0)
+
+
+def test_disk_preflight_passes_above_floor():
+    _guard(free_mb=500.0, min_free_mb=100.0).preflight_disk("k")
+
+
+def test_real_disk_probe_reports_something(tmp_path):
+    guard = ResourceGuard(tmp_path, min_free_mb=0.001)
+    assert guard.free_mb() > 0
+    guard.preflight_disk("k")  # a test tmpdir has more than a kilobyte
+
+
+def test_deadline_expires_on_fake_clock():
+    now = [0.0]
+    guard = ResourceGuard(deadline=10.0, clock=lambda: now[0]).start()
+    assert guard.remaining() == pytest.approx(10.0)
+    assert not guard.expired()
+    now[0] = 10.5
+    assert guard.expired()
+    assert guard.remaining() == pytest.approx(-0.5)
+
+
+def test_start_is_idempotent():
+    now = [5.0]
+    guard = ResourceGuard(deadline=1.0, clock=lambda: now[0]).start()
+    now[0] = 100.0
+    guard.start()  # must not re-arm the clock
+    assert guard.expired()
+
+
+def test_rss_overages_flags_only_offenders():
+    sizes = {11: 50.0, 22: 900.0, 33: None}
+    guard = ResourceGuard(max_rss_mb=256.0,
+                          rss_probe=lambda pid: sizes[pid])
+    assert guard.rss_overages([11, 22, 33]) == [(22, 900.0)]
+
+
+def test_read_rss_of_this_process():
+    rss = read_rss_mb(os.getpid())
+    assert rss is None or rss > 1.0  # /proc present on CI Linux
+
+
+def test_read_rss_of_missing_process():
+    assert read_rss_mb(2 ** 22 + 12345) is None
+
+
+def test_poll_interval_tracks_tightest_constraint():
+    now = [0.0]
+    guard = ResourceGuard(max_rss_mb=100.0, deadline=60.0,
+                          clock=lambda: now[0]).start()
+    assert guard.poll_interval() == pytest.approx(0.25)  # watchdog wins
+    guard_slow = ResourceGuard(deadline=0.1, clock=lambda: now[0]).start()
+    assert guard_slow.poll_interval() == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# scheduler integration
+# ----------------------------------------------------------------------
+
+def test_full_disk_refuses_tasks_and_degrades():
+    guard = _guard(free_mb=1.0, min_free_mb=100.0)
+    tasks = [Task(f"t{i}", lambda v: v, i) for i in range(3)]
+    outcome = _threaded(guard).run(tasks)
+    assert not outcome.ok
+    assert outcome.results == {}
+    assert {record.kind for record in outcome.failures} == {"disk-full"}
+    assert len(outcome.failures) == 3
+
+
+def test_deadline_zero_abandons_everything():
+    guard = ResourceGuard(deadline=0.0).start()
+    tasks = [Task(f"t{i}", lambda v: v, i) for i in range(4)]
+    outcome = _threaded(guard).run(tasks)
+    assert not outcome.ok
+    assert outcome.results == {}
+    assert len(outcome.timeouts) == 4
+    assert all(record.kind == "deadline" for record in outcome.timeouts)
+    assert "deadline exceeded" in outcome.timeouts[0].error
+
+
+def test_generous_guard_changes_nothing():
+    guard = _guard(free_mb=10_000.0, min_free_mb=1.0, deadline=3600.0)
+    guard.start()
+    tasks = [Task(f"t{i}", lambda v: v * 2, i) for i in range(4)]
+    outcome = _threaded(guard).run(tasks)
+    assert outcome.ok
+    assert outcome.results == {f"t{i}": i * 2 for i in range(4)}
+
+
+def test_inert_guard_not_retained_by_scheduler():
+    scheduler = SupervisedScheduler(1, guard=ResourceGuard())
+    assert scheduler.guard is None
+
+
+def test_rss_kill_retries_within_budget():
+    """An RSS kill is a crash: pool respawns and the task retries."""
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+    over = {"fired": False}
+
+    def probe(_pid):
+        if over["fired"]:
+            return 10.0
+        over["fired"] = True
+        return 9999.0  # first probe: every worker looks like a leak
+
+    guard = ResourceGuard(max_rss_mb=256.0, rss_probe=probe)
+    scheduler = SupervisedScheduler(1, policy=policy, guard=guard)
+    outcome = scheduler.run([Task("t", _identity, 7)])
+    assert outcome.results == {"t": 7}
+
+
+def _identity(value):
+    return value

@@ -10,11 +10,13 @@ from repro.flow.sweep import MANIFEST_NAME, SWEEP_STATE_NAME, SweepRunner
 from repro.obs.metrics import reset_metrics
 from repro.obs.session import OBS_DIR_NAME
 from repro.obs.tracer import reset_tracer
+from repro.pipeline.artifacts import INTERNAL_DIRS
 from repro.uarch.config import MEDIUM_BOOM
 
 SETTINGS = FlowSettings(scale=0.1)
 
-#: run bookkeeping that is *expected* to differ (timings, trace paths)
+#: run bookkeeping that is *expected* to differ (timings, trace paths,
+#: pid/timestamp-bearing journals, leases and lock files)
 _NON_ARTIFACTS = {MANIFEST_NAME, SWEEP_STATE_NAME}
 
 
@@ -33,8 +35,9 @@ def _artifact_digests(cache_dir):
         if not path.is_file():
             continue
         relative = path.relative_to(cache_dir)
-        if relative.parts[0] == OBS_DIR_NAME or \
-                relative.name in _NON_ARTIFACTS:
+        if relative.parts[0] in INTERNAL_DIRS or \
+                relative.name in _NON_ARTIFACTS or \
+                relative.suffix == ".lock":
             continue
         digests[str(relative)] = hashlib.sha256(
             path.read_bytes()).hexdigest()

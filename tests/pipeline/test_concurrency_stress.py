@@ -1,0 +1,107 @@
+"""Stress: N mutually-unaware processes hammering one artifact cache.
+
+The exactly-once guarantee under test: when many processes race to
+fetch the same missing fingerprints, each fingerprint's ``compute``
+runs in exactly one process (the lease winner); everyone else blocks
+and adopts the winner's bytes.  Workers prove their executions with
+create-exclusive marker files — a duplicate compute would collide on
+the marker (or leave two markers), either of which fails the test.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.flow.experiment import FlowSettings
+from repro.flow.sweep import SweepRunner
+from repro.pipeline.artifacts import ArtifactStore
+from repro.uarch.config import MEDIUM_BOOM
+
+PROCESSES = 8
+FINGERPRINTS = [f"shared-{index:02d}" for index in range(20)]
+STAGE = "stress_stage"
+
+
+def _fetch_worker(args):
+    """One process's share of the race: fetch every shared fingerprint."""
+    root, exec_log, barrier = args
+    store = ArtifactStore(root, lease_poll=0.005)
+    barrier.wait()  # maximal contention: everyone starts together
+    values = {}
+    for fingerprint in FINGERPRINTS:
+        def compute(fingerprint=fingerprint):
+            # prove this execution happened, exactly once per fp: the
+            # create-exclusive open makes a second compute unmissable
+            marker = os.path.join(
+                exec_log, f"{fingerprint}.by-{os.getpid()}")
+            with open(marker, "x") as handle:
+                handle.write(str(os.getpid()))
+            time.sleep(0.01)  # widen the race window
+            return {"fingerprint": fingerprint, "payload": "x" * 64}
+
+        values[fingerprint] = store.fetch_json(STAGE, fingerprint, compute)
+    return values
+
+
+def test_eight_processes_compute_each_artifact_exactly_once(tmp_path):
+    cache = tmp_path / "cache"
+    exec_log = tmp_path / "exec_log"
+    exec_log.mkdir()
+    context = multiprocessing.get_context("fork")
+    barrier = context.Manager().Barrier(PROCESSES)
+    with context.Pool(PROCESSES) as pool:
+        all_values = pool.map(
+            _fetch_worker,
+            [(str(cache), str(exec_log), barrier)] * PROCESSES)
+
+    # exactly one compute per fingerprint across all 8 processes
+    markers = sorted(path.name for path in exec_log.iterdir())
+    executed = [name.split(".by-")[0] for name in markers]
+    assert sorted(executed) == sorted(FINGERPRINTS), \
+        f"duplicate or missing computes: {markers}"
+
+    # every process saw every artifact, byte-identical to the winner's
+    for fingerprint in FINGERPRINTS:
+        on_disk = json.loads(
+            (cache / STAGE / f"{fingerprint}.json").read_text())
+        for values in all_values:
+            assert values[fingerprint] == on_disk
+
+    # no claims left behind (steal-lock and scratch bookkeeping files
+    # may linger; only *.lease files are live claims)
+    lease_dir = cache / "leases" / STAGE
+    leftover = sorted(lease_dir.glob("*.lease")) \
+        if lease_dir.exists() else []
+    assert leftover == [], f"claims left behind: {leftover}"
+
+
+def _sweep_worker(args):
+    root, out_path = args
+    runner = SweepRunner(FlowSettings(scale=0.05), cache_dir=root)
+    results = runner.run_all(configs=(MEDIUM_BOOM,), workloads=["qsort"])
+    ((_, result),) = results.items()
+    with open(out_path, "w") as handle:
+        json.dump(result.to_dict(), handle, sort_keys=True)
+    executions = sum(stats.executions
+                     for stats in runner.store.stats().values())
+    return executions
+
+
+@pytest.mark.slow
+def test_concurrent_sweeps_share_one_cache(tmp_path):
+    """Two unaware sweep processes: work dedupes, results agree."""
+    cache = tmp_path / "cache"
+    outputs = [tmp_path / "a.json", tmp_path / "b.json"]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(2) as pool:
+        executions = pool.map(
+            _sweep_worker,
+            [(str(cache), str(path)) for path in outputs])
+    first, second = (json.loads(path.read_text()) for path in outputs)
+    assert first == second
+    # the experiment pipeline has 6 stages: one full sweep executes all
+    # of them; dedupe means the pair together executed each at most once
+    assert sum(executions) <= 6

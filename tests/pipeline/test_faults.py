@@ -214,3 +214,73 @@ def test_from_settings_builds_state_dir(tmp_path):
     injector = FaultInjector.from_settings(Settings(), tmp_path)
     assert injector.seed == 3
     assert injector.state_dir == tmp_path / "fault_state"
+
+
+# ----------------------------------------------------------------------
+# concurrency fault kinds (lock-steal, torn-commit, disk-full)
+# ----------------------------------------------------------------------
+
+def test_plant_stale_lease_forges_dead_owner(tmp_path):
+    from repro.pipeline.locking import WorkClaims
+
+    injector = FaultInjector(parse_fault_spec("lease.claim:lock-steal:n=1"))
+    path = tmp_path / "leases" / "stage" / "fp.lease"
+    assert injector.plant_stale_lease("lease.claim", "stage/fp", path)
+    holder = WorkClaims.holder(path)
+    assert holder["boot_id"] == "injected-dead-boot"
+    # one-shot by default
+    assert not injector.plant_stale_lease("lease.claim", "stage/fp", path)
+
+
+def test_lock_steal_fault_exercises_reclamation(tmp_path):
+    """A store facing a planted dead lease steals it and still computes."""
+    from repro.pipeline.artifacts import ArtifactStore
+
+    injector = FaultInjector(parse_fault_spec("lease.claim:lock-steal:n=1"),
+                             state_dir=tmp_path / "fault_state")
+    store = ArtifactStore(tmp_path, faults=injector)
+    value = store.fetch_json("stage", "fp", lambda: {"answer": 42})
+    assert value == {"answer": 42}
+    assert not store.claims.lease_path("stage", "fp").exists()
+
+
+def test_torn_commit_leaves_recoverable_state(tmp_path):
+    """torn-commit = garbage at final path + open journal claim + OSError."""
+    from repro.pipeline.artifacts import ArtifactStore
+    from repro.pipeline.journal import (
+        journal_files,
+        open_intents,
+        read_journal,
+    )
+
+    injector = FaultInjector(
+        parse_fault_spec("artifact.write:torn-commit:n=1"),
+        state_dir=tmp_path / "fault_state")
+    store = ArtifactStore(tmp_path, faults=injector)
+    with pytest.raises(OSError) as excinfo:
+        store.put_json("stage", "fp", {"clean": True})
+    assert classify_failure(excinfo.value) == TRANSIENT
+    path = store.json_path("stage", "fp")
+    with pytest.raises(ValueError):
+        __import__("json").loads(path.read_text())  # garbage on disk
+    (journal,) = journal_files(tmp_path)
+    (pending,) = open_intents(read_journal(journal))
+    assert pending.fingerprint == "fp"
+
+
+def test_disk_full_fault_fires_once():
+    injector = FaultInjector(parse_fault_spec("guard.disk:disk-full:n=1"))
+    assert injector.disk_full("guard.disk", "any")
+    assert not injector.disk_full("guard.disk", "any")
+
+
+def test_disk_full_fault_drives_guard():
+    from repro.errors import DiskSpaceError
+    from repro.flow.guardrails import ResourceGuard
+
+    injector = FaultInjector(parse_fault_spec("guard.disk:disk-full:n=1"))
+    guard = ResourceGuard("/tmp", faults=injector)
+    assert guard.active  # an injector alone arms the guard
+    with pytest.raises(DiskSpaceError):
+        guard.preflight_disk("k")
+    guard.preflight_disk("k")  # fault exhausted, disk genuinely fine

@@ -1,0 +1,217 @@
+"""Tests for the write-ahead intent journal and crash recovery."""
+
+import json
+import multiprocessing
+import os
+
+from repro.pipeline.journal import (
+    IntentJournal,
+    QUARANTINE_DIR_NAME,
+    RecoveryReport,
+    open_intents,
+    read_journal,
+    recover_cache,
+)
+from repro.pipeline.locking import WorkClaims, boot_id
+
+
+def _dead_pid():
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+def _dead_journal(cache, records, pid=None):
+    """Write a journal file owned by a provably dead process."""
+    pid = pid if pid is not None else _dead_pid()
+    directory = cache / "journal"
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"intents-{boot_id()[:8]}-{pid}.jsonl"
+    path.write_text("".join(json.dumps(record) + "\n"
+                            for record in records))
+    return path
+
+
+# ----------------------------------------------------------------------
+# journal append / read
+# ----------------------------------------------------------------------
+
+def test_claim_commit_round_trip(tmp_path):
+    journal = IntentJournal(tmp_path)
+    journal.claim("stage", "fp", tmp_path / "stage" / "fp.json")
+    journal.commit("stage", "fp")
+    journal.close()
+    (path,) = list((tmp_path / "journal").glob("intents-*.jsonl"))
+    records = read_journal(path)
+    assert [record.op for record in records] == ["claim", "commit"]
+    assert records[0].pid == os.getpid()
+    assert records[0].path.endswith("fp.json")
+    assert open_intents(records) == []
+
+
+def test_aborted_claim_is_settled(tmp_path):
+    journal = IntentJournal(tmp_path)
+    journal.claim("stage", "fp", tmp_path / "x")
+    journal.abort("stage", "fp")
+    journal.close()
+    (path,) = list((tmp_path / "journal").glob("intents-*.jsonl"))
+    assert open_intents(read_journal(path)) == []
+
+
+def test_memory_only_journal_is_inert(tmp_path):
+    journal = IntentJournal(None)
+    journal.claim("stage", "fp", tmp_path / "x")  # must not raise
+    journal.close()
+
+
+def test_torn_trailing_line_is_ignored(tmp_path):
+    path = _dead_journal(tmp_path, [
+        {"op": "claim", "stage": "s", "fingerprint": "f", "path": "p"}])
+    with open(path, "a") as handle:
+        handle.write('{"op": "commit", "stage"')  # the kill landed here
+    records = read_journal(path)
+    assert [record.op for record in records] == ["claim"]
+
+
+def test_open_intents_finds_unsettled_claims(tmp_path):
+    path = _dead_journal(tmp_path, [
+        {"op": "claim", "stage": "s", "fingerprint": "done", "path": "a"},
+        {"op": "commit", "stage": "s", "fingerprint": "done"},
+        {"op": "claim", "stage": "s", "fingerprint": "torn", "path": "b"},
+    ])
+    (pending,) = open_intents(read_journal(path))
+    assert pending.fingerprint == "torn"
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+
+def test_recover_clean_cache_reports_clean(tmp_path):
+    report = recover_cache(tmp_path)
+    assert isinstance(report, RecoveryReport)
+    assert report.clean
+    assert "clean" in report.format()
+
+
+def test_recover_quarantines_torn_artifact_of_dead_owner(tmp_path):
+    artifact = tmp_path / "power_report" / "abc123.json"
+    artifact.parent.mkdir(parents=True)
+    artifact.write_text('{"torn": tru')  # the garbage the kill left
+    _dead_journal(tmp_path, [
+        {"op": "claim", "stage": "power_report", "fingerprint": "abc123",
+         "path": str(artifact)}])
+    report = recover_cache(tmp_path)
+    assert not artifact.exists()
+    assert report.quarantined == ["power_report/abc123.json"]
+    assert report.journals_removed == 1
+    quarantined = list((tmp_path / QUARANTINE_DIR_NAME).rglob("*"))
+    assert any(entry.is_file() for entry in quarantined)
+    # idempotent: a second pass finds nothing left to do
+    assert recover_cache(tmp_path).clean
+
+
+def test_recover_keeps_committed_artifacts(tmp_path):
+    artifact = tmp_path / "power_report" / "good.json"
+    artifact.parent.mkdir(parents=True)
+    artifact.write_text("{}")
+    _dead_journal(tmp_path, [
+        {"op": "claim", "stage": "power_report", "fingerprint": "good",
+         "path": str(artifact)},
+        {"op": "commit", "stage": "power_report", "fingerprint": "good"}])
+    report = recover_cache(tmp_path)
+    assert artifact.exists()
+    assert report.quarantined == []
+    assert report.journals_removed == 1  # dead journal still retired
+
+
+def test_recover_spares_live_processes(tmp_path):
+    journal = IntentJournal(tmp_path)
+    artifact = tmp_path / "stage" / "inflight.json"
+    artifact.parent.mkdir(parents=True)
+    artifact.write_text("{}")
+    journal.claim("stage", "inflight", artifact)  # we are alive
+    claims = WorkClaims(tmp_path)
+    lease = claims.claim("stage", "inflight")
+    report = recover_cache(tmp_path)
+    assert artifact.exists()
+    assert report.quarantined == []
+    assert report.leases_released == 0
+    assert lease.path.exists()
+    journal.close()
+    lease.release()
+
+
+def test_recover_releases_dead_leases(tmp_path):
+    claims = WorkClaims(tmp_path)
+    path = claims.lease_path("stage", "fp")
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"pid": _dead_pid(),
+                                "boot_id": boot_id()}))
+    report = recover_cache(tmp_path)
+    assert report.leases_released == 1
+    assert not path.exists()
+
+
+def test_recover_removes_dead_tmp_strays(tmp_path):
+    pid = _dead_pid()
+    stage = tmp_path / "checkpoints"
+    stage.mkdir()
+    stray_dir = stage / f"abc.tmp{pid}"
+    stray_dir.mkdir()
+    (stray_dir / "blob.ckpt").write_text("half")
+    stray_file = tmp_path / f"sweep_state.json.tmp{pid}"
+    stray_file.write_text("{")
+    live = stage / f"def.tmp{os.getpid()}"
+    live.mkdir()
+    report = recover_cache(tmp_path)
+    assert report.tmp_removed == 2
+    assert not stray_dir.exists() and not stray_file.exists()
+    assert live.exists()  # our own in-flight build is not a fault
+
+
+def test_recover_marks_dead_running_sweep_interrupted(tmp_path):
+    state = tmp_path / "sweep_state.json"
+    state.write_text(json.dumps({
+        "sweep_id": "x", "status": "running",
+        "owner": {"pid": _dead_pid(), "boot_id": boot_id()}}))
+    report = recover_cache(tmp_path)
+    assert report.state_repaired
+    assert json.loads(state.read_text())["status"] == "interrupted"
+
+
+def test_recover_leaves_live_running_sweep_alone(tmp_path):
+    state = tmp_path / "sweep_state.json"
+    state.write_text(json.dumps({
+        "sweep_id": "x", "status": "running",
+        "owner": {"pid": os.getpid(), "boot_id": boot_id()}}))
+    report = recover_cache(tmp_path)
+    assert not report.state_repaired
+    assert json.loads(state.read_text())["status"] == "running"
+
+
+def test_recover_quarantines_unparseable_sweep_state(tmp_path):
+    state = tmp_path / "sweep_state.json"
+    state.write_text("{half a json")
+    report = recover_cache(tmp_path)
+    assert report.state_repaired
+    assert not state.exists()
+
+
+def test_recover_repairs_dangling_latest_pointer(tmp_path):
+    obs = tmp_path / "obs"
+    obs.mkdir()
+    (obs / "latest").write_text("20250101-000000-sweep-1\n")
+    report = recover_cache(tmp_path)
+    assert report.pointer_repaired
+    assert not (obs / "latest").exists()
+
+
+def test_recover_keeps_valid_latest_pointer(tmp_path):
+    obs = tmp_path / "obs"
+    (obs / "run-1").mkdir(parents=True)
+    (obs / "latest").write_text("run-1\n")
+    report = recover_cache(tmp_path)
+    assert not report.pointer_repaired
+    assert (obs / "latest").exists()

@@ -217,3 +217,63 @@ def test_sweep_retries_transient_faults(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 0  # transient fault retried to success
     assert "retries" in captured.out
+
+
+def test_recover_on_clean_cache(capsys, tmp_path):
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path), "recover")
+    assert code == 0
+    assert "clean" in out
+
+
+def test_recover_repairs_and_verifies(capsys, tmp_path):
+    import json
+    import multiprocessing
+
+    from repro.pipeline.locking import boot_id
+
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    artifact = tmp_path / "power_report" / "torn.json"
+    artifact.parent.mkdir(parents=True)
+    artifact.write_text("{half a write")
+    journal_dir = tmp_path / "journal"
+    journal_dir.mkdir()
+    (journal_dir / f"intents-{boot_id()[:8]}-{proc.pid}.jsonl").write_text(
+        json.dumps({"op": "claim", "stage": "power_report",
+                    "fingerprint": "torn",
+                    "path": str(artifact)}) + "\n")
+
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "recover", "--verify")
+    assert code == 0
+    assert "quarantined 1" in out
+    assert "OK" in out
+    assert not artifact.exists()
+
+
+def test_recover_check_only_audits_without_repair(capsys, tmp_path):
+    obs = tmp_path / "obs"
+    obs.mkdir()
+    (obs / "latest").write_text("gone\n")
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "recover", "--check")
+    assert code == 1  # problems found
+    assert "PROBLEM" in out
+    assert (obs / "latest").exists()  # audit-only: nothing repaired
+
+
+def test_sweep_deadline_degrades_with_exit_3(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "sweep", "--deadline", "0"])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "degraded" in captured.err
+
+
+def test_sweep_disk_floor_degrades_with_exit_3(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "sweep", "--min-free-mb", "1e12"])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "degraded" in captured.err
