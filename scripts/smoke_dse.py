@@ -113,6 +113,34 @@ def main(argv: list[str] | None = None) -> int:
             assert abs(point.tile_mw - again.tile_mw) <= 1e-9 * max(
                 1.0, abs(point.tile_mw))
 
+    # batched leg: the same sweep through the batched multi-config
+    # engine (fresh cache, batch=True) must emit a byte-identical
+    # frontier artifact — batching is an execution strategy, never a
+    # model change
+    with tempfile.TemporaryDirectory() as tmp:
+        batched = run_dse(spec,
+                          settings=FlowSettings(scale=args.scale,
+                                                batch=True),
+                          cache_dir=tmp, jobs=args.jobs,
+                          workloads=[WORKLOAD])
+        print("\nbatched DSE sweep:")
+        print(batched.manifest.format())
+        assert batched.manifest.ok, "batched: sweep degraded"
+        assert not batched.skipped, \
+            f"batched: skipped points {batched.skipped}"
+        # compare everything but the run-timing section ("settings"
+        # carries points_per_s / wall_seconds, which are wall clock,
+        # not model output)
+        def stable(document: dict) -> str:
+            document = {key: value for key, value in document.items()
+                        if key != "settings"}
+            return json.dumps(document, indent=2, sort_keys=True,
+                              allow_nan=False)
+
+        assert stable(batched.document()) == stable(rebuilt), (
+            "batched: frontier artifact differs from the per-config "
+            "sweep's — batch on/off must be byte-identical")
+
     print(f"\nsmoke OK: {len(cold.points)} design points, "
           f"{len(cold.frontier)} on the frontier "
           f"({', '.join(sorted(on_frontier))} among them), "

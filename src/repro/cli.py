@@ -54,7 +54,8 @@ def _settings(args: argparse.Namespace) -> FlowSettings:
     fault_seed = getattr(args, "fault_seed", None)
     return FlowSettings(
         scale=args.scale, seed=args.seed, faults=faults,
-        fault_seed=env_seed if fault_seed is None else fault_seed)
+        fault_seed=env_seed if fault_seed is None else fault_seed,
+        batch=bool(getattr(args, "batch", False)))
 
 
 def _runner(args: argparse.Namespace) -> SweepRunner:
@@ -594,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pick an interrupted sweep back up: completed experiments "
              "come from the cache, permanent failures are not re-run")
     sweep_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        help="simulate all configs of a workload in one batched pass "
+             "sharing the recorded fetch trace (byte-identical "
+             "artifacts; falls back to per-config runs on any batch "
+             "fault)")
+    sweep_parser.add_argument(
         "--fail-fast", action="store_true",
         help="abort on the first permanent failure instead of "
              "completing the remaining experiments")
@@ -747,6 +754,12 @@ def build_parser() -> argparse.ArgumentParser:
     dse_parser.add_argument(
         "--resume", action="store_true",
         help="pick an interrupted DSE sweep back up from the cache")
+    dse_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        help="simulate all configs of a workload in one batched pass "
+             "sharing the recorded fetch trace (byte-identical "
+             "artifacts; falls back to per-config runs on any batch "
+             "fault)")
     dse_parser.add_argument(
         "--fail-fast", action="store_true",
         help="abort on the first permanent failure")

@@ -112,6 +112,29 @@ def _prepare_worker(task: tuple) -> tuple:
     return store.stats_dict(), inline
 
 
+def _batch_worker(task: tuple) -> tuple:
+    """Process-pool worker: one workload's batched detailed stage.
+
+    Primes the ``detailed_sim`` artifacts for every config of one
+    workload through the batched engine (:mod:`repro.sim.batch`); the
+    subsequent experiment wave then consumes them as cache hits.  The
+    artifacts are byte-identical to serially-computed ones, so a crashed
+    or failed batch costs nothing but the priming — the per-experiment
+    workers recompute whatever is missing.
+    """
+    workload, configs, settings, root, inline = task
+    faults = FaultInjector.from_settings(settings, root)
+    if faults is not None:
+        faults.inject("worker.batch", workload)
+    store = ArtifactStore(root, faults=faults)
+    pipeline = ExperimentPipeline(store, settings)
+    if inline is not None:
+        pipeline.adopt_workload(workload, selection=inline[0],
+                                checkpoints=inline[1])
+    primed = pipeline.prepare_detailed_batch(workload, list(configs))
+    return store.stats_dict(), primed
+
+
 def _experiment_worker(task: tuple) -> tuple:
     """Process-pool worker: one experiment's detailed stages."""
     workload, config, settings, root, inline = task
@@ -142,6 +165,9 @@ class SweepRunner:
         self.pipeline = ExperimentPipeline(self.store, self.settings)
         self.last_manifest: RunManifest | None = None
         self.resumed_completed = 0
+        #: workload -> error, for batches that degraded to per-config
+        #: simulation during the last run_all (settings.batch only)
+        self.batch_degraded: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # legacy whole-experiment cache migration
@@ -266,6 +292,7 @@ class SweepRunner:
         sweep_id = self._sweep_id(pairs)
         outcome = ScheduleOutcome()
         self.resumed_completed = 0
+        self.batch_degraded = {}
         pending_pairs = self._apply_resume(pairs, sweep_id, resume, outcome)
         guard = ResourceGuard(
             self.cache_dir, min_free_mb=min_free_mb,
@@ -342,6 +369,9 @@ class SweepRunner:
         """The metrics registry, enriched with run-level aggregates."""
         registry = get_metrics()
         registry.gauge("cache.hit_rate").set(manifest.hit_rate)
+        if self.settings.batch:
+            registry.gauge("sweep.batch_degraded").set(
+                float(len(self.batch_degraded)))
         if session is not None and session.trace_path is not None:
             try:
                 trace = json.loads(session.trace_path.read_text())
@@ -356,11 +386,50 @@ class SweepRunner:
     # serial supervised execution
     # ------------------------------------------------------------------
 
+    def _prime_batches(self, pairs: list[tuple[str, BoomConfig]],
+                       guard: ResourceGuard | None = None) -> None:
+        """Serial-path batch priming (``settings.batch`` only).
+
+        Runs the batched engine once per workload over every config
+        whose result is not yet cached, seeding the ``detailed_sim``
+        artifacts the pair loop then consumes as cache hits.  Any batch
+        fault degrades that workload back to ordinary per-config
+        simulation — recorded in :attr:`batch_degraded`, never failing
+        the sweep — so the retry/fail-fast semantics of the pair loop
+        are untouched.
+        """
+        if not self.settings.batch:
+            return
+        by_workload: dict[str, list[BoomConfig]] = {}
+        for workload, config in pairs:
+            if self.pipeline.peek_result(workload, config) is None:
+                by_workload.setdefault(workload, []).append(config)
+        for workload, configs in by_workload.items():
+            if guard is not None and guard.expired():
+                return
+            try:
+                faults = self.store.faults
+                if faults is not None:
+                    faults.inject("worker.batch", workload)
+                primed = self.pipeline.prepare_detailed_batch(workload,
+                                                              configs)
+            except Exception as exc:
+                self.batch_degraded[workload] = \
+                    f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "batched simulation for %s failed (%s); degrading "
+                    "to per-config simulation", workload, exc)
+            else:
+                if primed:
+                    logger.info("batched %d configs for %s",
+                                primed, workload)
+
     def _run_serial(self, pairs: list[tuple[str, BoomConfig]],
                     results: dict[tuple[str, str], ExperimentResult],
                     outcome: ScheduleOutcome, *, policy: RetryPolicy,
                     fail_fast: bool,
                     guard: ResourceGuard | None = None) -> None:
+        self._prime_batches(pairs, guard)
         for index, (workload, config) in enumerate(pairs):
             key = _pair_key(workload, config)
             if guard is not None and guard.expired():
@@ -505,6 +574,40 @@ class SweepRunner:
             return
         if not runnable:
             return
+
+        if self.settings.batch and root is not None:
+            # Batch wave: one task per workload primes the detailed
+            # artifacts for all of its configs through the batched
+            # engine; the experiment wave below then consumes them as
+            # cache hits.  A failed or hung batch never fails the sweep
+            # — its pairs simply simulate per-config in the next wave —
+            # so this scheduler runs without fail-fast and its failures
+            # are recorded as degradations, not sweep failures.  (With
+            # no shared cache directory a worker's artifacts could not
+            # reach the experiment workers, so the wave is skipped.)
+            by_workload: dict[str, list[BoomConfig]] = {}
+            for workload, config in runnable:
+                by_workload.setdefault(workload, []).append(config)
+            batch_scheduler = SupervisedScheduler(
+                max_workers=jobs, policy=policy, timeout=timeout,
+                fail_fast=False, guard=guard)
+            batch_wave = batch_scheduler.run(
+                [Task(key=f"batch:{workload}", fn=_batch_worker,
+                      payload=(workload, tuple(configs), self.settings,
+                               root, inline.get(workload)))
+                 for workload, configs in sorted(by_workload.items())],
+                on_result=lambda task, payload:
+                    self.store.merge_stats(payload[0]))
+            outcome.executions.extend(batch_wave.executions)
+            for key, count in batch_wave.retries.items():
+                outcome.retries[key] = outcome.retries.get(key, 0) + count
+            outcome.respawns += batch_wave.respawns
+            for record in batch_wave.failures + batch_wave.timeouts:
+                workload = record.key.split(":", 1)[1]
+                self.batch_degraded[workload] = record.error
+                logger.warning(
+                    "batched simulation for %s failed (%s); degrading "
+                    "to per-config simulation", workload, record.error)
 
         def adopt_result(task: Task, payload: tuple) -> None:
             workload, config = task.payload[0], task.payload[1]

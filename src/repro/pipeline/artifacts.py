@@ -71,7 +71,9 @@ from repro.pipeline.locking import LEASE_DIR_NAME, WorkClaims
 
 #: bump when the simulation/power models change to invalidate cached
 #: artifacts (the old whole-experiment sweep cache used the same knob)
-MODEL_VERSION = 11
+#: v12: CoreStats gained the per-structure commit/retire accounting
+#: section, so detailed/power/result artifacts carry new stat keys
+MODEL_VERSION = 12
 
 #: bump when the artifact layout or fingerprint recipe changes
 ARTIFACT_FORMAT = 1

@@ -33,16 +33,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.check import checks_enabled
-from repro.check.invariants import CoreInvariantChecker
 from repro.check.validators import require_valid_result
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.checkpoint.creator import create_checkpoints
 from repro.checkpoint.store import load_checkpoints, save_checkpoints
 from repro.errors import CorruptArtifactError
-from repro.obs.heartbeat import HeartbeatEmitter
-from repro.obs.tracer import get_tracer
 from repro.pipeline.artifacts import ArtifactStore, MODEL_VERSION
+from repro.sim.batch import simulate_checkpoint, simulate_raw_runs_batched
 
 # NOTE: repro.flow.results is imported lazily inside the functions that
 # need it.  Importing it at module level would execute repro.flow's
@@ -60,7 +57,6 @@ from repro.simpoint.simpoints import (
     select_simpoints,
 )
 from repro.uarch.config import BoomConfig
-from repro.uarch.core import BoomCore
 from repro.uarch.stats import CoreStats
 from repro.workloads.suite import build_program, get_workload
 
@@ -212,52 +208,13 @@ def simulate_raw_runs(config: BoomConfig, program,
     Returns plain-dict records — the "signal trace" artifact — carrying
     the complete measured :class:`CoreStats` so the power stage can be
     recomputed (or re-calibrated) without re-running the detailed core.
+    The per-checkpoint body lives in
+    :func:`repro.sim.batch.simulate_checkpoint`, shared with the batched
+    multi-config engine so the two paths cannot drift.
     """
-    tracer = get_tracer()
-    raw: list[dict] = []
-    for checkpoint in checkpoints:
-        heartbeat = None
-        emitter = None
-        if tracer.enabled:
-            window_hint = checkpoint.measure_instructions or interval_size
-            emitter = HeartbeatEmitter(
-                tracer, "core.instr", units="instructions",
-                total=checkpoint.warmup_instructions + window_hint,
-                workload=program.name, config=config.name,
-                checkpoint=checkpoint.interval_index)
-            heartbeat = lambda retired, cycles: emitter(retired,
-                                                        cycles=cycles)
-        with tracer.span("detailed_sim.checkpoint",
-                         workload=program.name, config=config.name,
-                         checkpoint=checkpoint.interval_index):
-            core = BoomCore(config, program, state=checkpoint.restore())
-            checker = None
-            if checks_enabled():
-                # Invariants ride the heartbeat observer slot (chaining
-                # any tracing emitter), so a checked run takes the same
-                # loop as a traced one and produces byte-identical
-                # artifacts — REPRO_CHECK is deliberately not part of
-                # the stage fingerprint.
-                checker = CoreInvariantChecker(core, wrapped=heartbeat)
-                heartbeat = checker
-            if checkpoint.warmup_instructions:
-                core.run(checkpoint.warmup_instructions,
-                         heartbeat=heartbeat)
-            stats = core.begin_measurement()
-            window = checkpoint.measure_instructions or interval_size
-            measured = core.run(window, heartbeat=heartbeat)
-            if checker is not None:
-                checker.check()
-        if emitter is not None:
-            emitter.finish(checkpoint.warmup_instructions + measured)
-        raw.append({
-            "interval_index": checkpoint.interval_index,
-            "weight": checkpoint.weight,
-            "warmup_instructions": checkpoint.warmup_instructions,
-            "measured_instructions": measured,
-            "stats": stats.to_dict(),
-        })
-    return raw
+    return [simulate_checkpoint(config, program, checkpoint,
+                                interval_size)
+            for checkpoint in checkpoints]
 
 
 def power_runs_from_raw(raw: list[dict], config: BoomConfig,
@@ -473,6 +430,43 @@ class ExperimentPipeline:
         checkpoints) — the unit of per-workload parallel fan-out."""
         self.selection(workload)
         self.checkpoints(workload)
+
+    def prepare_detailed_batch(self, workload: str,
+                               configs: list[BoomConfig]) -> int:
+        """Materialize ``detailed_sim`` for many configs in one batch.
+
+        Runs the batched engine (:mod:`repro.sim.batch`) over every
+        config whose detailed artifact is not yet cached, then persists
+        each per-config record list under its ordinary stage fingerprint
+        — byte-identical to what the serial path would have written, so
+        downstream stages (and concurrent per-config workers) consume it
+        with no knowledge of how it was produced.  Returns the number of
+        configs simulated; a later :meth:`detailed` call for any of them
+        is a cache hit.
+        """
+        missing = [config for config in configs
+                   if not self.store.has(
+                       DETAILED_STAGE,
+                       self.detailed_fingerprint(workload, config))]
+        if not missing:
+            return 0
+        settings = self.settings
+        interval = get_workload(workload).interval_for_scale(settings.scale)
+        batched = simulate_raw_runs_batched(
+            missing, self.program(workload), self.checkpoints(workload),
+            interval)
+        for config in missing:
+            raw = batched[config.name]
+            # fetch_json with a precomputed payload: the journaled,
+            # atomic, fault-injectable write path the serial compute
+            # uses — a batch-primed artifact is indistinguishable on
+            # disk from a serially-computed one.
+            self.store.fetch_json(
+                DETAILED_STAGE,
+                self.detailed_fingerprint(workload, config),
+                compute=lambda raw=raw: raw,
+                label=f"{workload}/{config.name}")
+        return len(missing)
 
     def workload_prepared(self, workload: str) -> bool:
         """Whether the per-workload chain is already cached."""

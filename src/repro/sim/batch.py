@@ -1,0 +1,128 @@
+"""Batched multi-config detailed simulation with front-end specialization.
+
+Replaying one SimPoint checkpoint across N uarch configurations repeats
+all config-invariant work N times: the serial stage-4 path
+(:func:`repro.pipeline.stages.simulate_raw_runs`) restores the
+architectural state per config and lets each core's oracle frontend
+re-execute the functional model instruction-by-instruction at fetch.
+Those fetch-side semantics — branch outcomes, effective addresses, the
+dynamic instruction stream itself — are pure functions of the
+checkpointed state and identical for every config.
+
+The batched engine lifts them out of the per-config loop:
+
+1. the checkpoint's architectural state is reconstructed **once**, into
+   a shared :class:`~repro.uarch.ftrace.FetchTrace` that lazily records
+   the oracle instruction stream;
+2. each configuration's :class:`~repro.uarch.core.BoomCore` replays that
+   stream through its own private fetch timing
+   (:class:`~repro.uarch.frontend.TraceFetchUnit`) and steps its own
+   back-end independently.
+
+Per-config stats are **bit-identical** to the serial path (gated by
+``tests/sim/test_equivalence.py``), so batched and serial runs produce
+byte-identical artifacts and may be mixed freely: the sweep primes
+batches opportunistically and falls back to per-config simulation on any
+batch fault (see :mod:`repro.flow.sweep`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.check import checks_enabled
+from repro.check.invariants import CoreInvariantChecker
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.obs.heartbeat import HeartbeatEmitter
+from repro.obs.tracer import get_tracer
+from repro.uarch.config import BoomConfig
+from repro.uarch.core import BoomCore
+from repro.uarch.ftrace import FetchTrace
+
+__all__ = ["simulate_checkpoint", "simulate_raw_runs_batched"]
+
+
+def simulate_checkpoint(config: BoomConfig, program,
+                        checkpoint: Checkpoint, interval_size: int, *,
+                        trace: FetchTrace | None = None) -> dict:
+    """Run one checkpoint through the detailed core; the raw record.
+
+    The single source of truth for stage-4 semantics: the serial path
+    (:func:`repro.pipeline.stages.simulate_raw_runs`) and the batched
+    engine both call this, so their records cannot drift.  With
+    ``trace`` the core replays the shared oracle fetch stream instead of
+    restoring and re-executing its own functional state; the stats are
+    bit-identical either way.
+    """
+    tracer = get_tracer()
+    heartbeat = None
+    emitter = None
+    if tracer.enabled:
+        window_hint = checkpoint.measure_instructions or interval_size
+        emitter = HeartbeatEmitter(
+            tracer, "core.instr", units="instructions",
+            total=checkpoint.warmup_instructions + window_hint,
+            workload=program.name, config=config.name,
+            checkpoint=checkpoint.interval_index)
+        heartbeat = lambda retired, cycles: emitter(retired,
+                                                    cycles=cycles)
+    with tracer.span("detailed_sim.checkpoint",
+                     workload=program.name, config=config.name,
+                     checkpoint=checkpoint.interval_index):
+        if trace is None:
+            core = BoomCore(config, program, state=checkpoint.restore())
+        else:
+            core = BoomCore(config, program, trace=trace)
+        checker = None
+        if checks_enabled():
+            # Invariants ride the heartbeat observer slot (chaining
+            # any tracing emitter), so a checked run takes the same
+            # loop as a traced one and produces byte-identical
+            # artifacts — REPRO_CHECK is deliberately not part of
+            # the stage fingerprint.
+            checker = CoreInvariantChecker(core, wrapped=heartbeat)
+            heartbeat = checker
+        if checkpoint.warmup_instructions:
+            core.run(checkpoint.warmup_instructions,
+                     heartbeat=heartbeat)
+        stats = core.begin_measurement()
+        window = checkpoint.measure_instructions or interval_size
+        measured = core.run(window, heartbeat=heartbeat)
+        if checker is not None:
+            checker.check()
+    if emitter is not None:
+        emitter.finish(checkpoint.warmup_instructions + measured)
+    return {
+        "interval_index": checkpoint.interval_index,
+        "weight": checkpoint.weight,
+        "warmup_instructions": checkpoint.warmup_instructions,
+        "measured_instructions": measured,
+        "stats": stats.to_dict(),
+    }
+
+
+def simulate_raw_runs_batched(configs: Iterable[BoomConfig], program,
+                              checkpoints: list[Checkpoint],
+                              interval_size: int) -> dict[str, list[dict]]:
+    """Stage 4 for many configs over one checkpoint set, batched.
+
+    Checkpoint-major: each checkpoint's state is reconstructed once into
+    a shared :class:`FetchTrace`, every config replays it, then the
+    trace is dropped — at most one trace (one functional state plus the
+    recorded entries of the hungriest consumer) is live at a time.
+    Returns ``{config.name: raw records}`` where each record list is
+    exactly what :func:`repro.pipeline.stages.simulate_raw_runs` would
+    have produced for that config alone.
+    """
+    configs = tuple(configs)
+    names = [config.name for config in configs]
+    if len(set(names)) != len(names):
+        raise ValueError("batched simulation requires unique config "
+                         "names (records are keyed by name)")
+    raw: dict[str, list[dict]] = {name: [] for name in names}
+    for checkpoint in checkpoints:
+        trace = FetchTrace(program, checkpoint.restore())
+        for config in configs:
+            raw[config.name].append(simulate_checkpoint(
+                config, program, checkpoint, interval_size, trace=trace))
+    return raw

@@ -32,7 +32,9 @@ from repro.uarch.bpu import BranchPredictionUnit
 from repro.uarch.cache import L1Cache
 from repro.uarch.config import BoomConfig
 from repro.uarch.execute import ExecutionUnits
-from repro.uarch.frontend import FetchUnit
+from repro.uarch.frontend import (REDIRECT_PENALTY, _LINE_SHIFT, FetchUnit,
+                                  TraceFetchUnit)
+from repro.uarch.ftrace import FetchTrace
 from repro.uarch.issue import make_issue_queue
 from repro.uarch.lsu import LoadStoreUnit
 from repro.uarch.rename import RenameStage
@@ -49,18 +51,30 @@ class BoomCore:
     """Cycle-level model of one BOOM core plus its L1 caches."""
 
     def __init__(self, config: BoomConfig, program: Program,
-                 state: ArchState | None = None) -> None:
+                 state: ArchState | None = None,
+                 trace: FetchTrace | None = None) -> None:
         self.config = config
         self.program = program
-        if state is None:
-            state = ArchState.for_program(program)
         self.stats = CoreStats()
         stats = self.stats
         self.bpu = BranchPredictionUnit(config.predictor, stats.predictor)
         self.icache = L1Cache(config.icache, stats.icache, hit_latency=1)
         self.dcache = L1Cache(config.dcache, stats.dcache, hit_latency=3)
-        self.frontend = FetchUnit(config, program, state, self.bpu,
-                                  self.icache, stats.frontend)
+        if trace is not None:
+            # Batched replay: the shared oracle trace stands in for the
+            # per-core functional model (no ArchState needed).
+            self.frontend: FetchUnit = TraceFetchUnit(
+                config, program, trace, self.bpu, self.icache,
+                stats.frontend)
+        else:
+            if state is None:
+                state = ArchState.for_program(program)
+            self.frontend = FetchUnit(config, program, state, self.bpu,
+                                      self.icache, stats.frontend)
+        # The specialized fused loop replicates the collapsing-queue select
+        # inline; ring-queue configs replay the trace via the generic loop.
+        self._fused = (trace is not None
+                       and config.issue_queue_kind == "collapsing")
         self.rename = RenameStage(config, stats.int_rename, stats.fp_rename)
         self.rob = ReorderBuffer(config.rob_entries, stats.rob)
         kind = config.issue_queue_kind
@@ -133,18 +147,22 @@ class BoomCore:
         deadline = self.cycle + _SAFETY_FACTOR * (budget + 64)
         try:
             if heartbeat is None:
-                while True:
-                    if target is not None and self.retired_total >= target:
-                        break
-                    if self.frontend.out_of_instructions \
-                            and self.rob.is_empty:
-                        break
-                    self._step()
-                    if self.cycle > deadline:
-                        raise SimulationError(
-                            f"pipeline made no progress for "
-                            f"{_SAFETY_FACTOR}x the instruction budget "
-                            f"(deadlock?) at cycle {self.cycle}")
+                if self._fused and self.retire_log is None:
+                    self._run_fused(target, deadline)
+                else:
+                    while True:
+                        if target is not None \
+                                and self.retired_total >= target:
+                            break
+                        if self.frontend.out_of_instructions \
+                                and self.rob.is_empty:
+                            break
+                        self._step()
+                        if self.cycle > deadline:
+                            raise SimulationError(
+                                f"pipeline made no progress for "
+                                f"{_SAFETY_FACTOR}x the instruction budget "
+                                f"(deadlock?) at cycle {self.cycle}")
             else:
                 countdown = _HEARTBEAT_STRIDE
                 while True:
@@ -209,6 +227,15 @@ class BoomCore:
                 self.fp_in_flight -= 1
             if self.retire_log is not None:
                 self.retire_log.append((head, cycle))
+            # Retire-point occupancy attribution (sampled after the
+            # retiring uop has left every structure).
+            acc = self.stats.accounting
+            acc.retires_sampled += 1
+            acc.rob_occupancy_at_retire += len(rob)
+            acc.iq_occupancy_at_retire += (len(self.iq_int)
+                                           + len(self.iq_mem)
+                                           + len(self.iq_fp))
+            acc.lsu_occupancy_at_retire += len(self.lsu)
             self.stats.count_retired(head.opclass_name)
             self.retired_total += 1
             width -= 1
@@ -344,6 +371,9 @@ class BoomCore:
                 self.branches_in_flight += 1
             if uop.dest_kind == "f" or uop.queue == "fp":
                 self.fp_in_flight += 1
+            by_trace = stats.accounting.dispatch_by_trace
+            key = uop.trace_key
+            by_trace[key] = by_trace.get(key, 0) + 1
             width -= 1
 
     # ------------------------------------------------------------------
@@ -357,3 +387,720 @@ class BoomCore:
         self.iq_fp.sample_batched()
         self.lsu.sample()
         self.stats.dcache.mshr_occupancy += self.dcache.mshr_occupancy(cycle)
+
+    # ------------------------------------------------------------------
+    # the fused trace-replay loop (batched engine)
+    # ------------------------------------------------------------------
+
+    def _run_fused(self, target: int | None, deadline: int) -> None:
+        """Specialized cycle loop for trace-driven (batched) replay.
+
+        Semantically identical to iterating :meth:`_step`: same stage
+        order, same counter updates, same termination and deadline
+        conditions — gated bit-identical against the generic loop by
+        ``tests/sim/test_equivalence.py``.  The per-cycle stage bodies
+        (commit, complete, the collapsing-queue selects, dispatch/rename,
+        sampling) are inlined here with hot state hoisted into locals, so
+        per-cycle Python dispatch collapses into one loop body.  Only
+        built for collapsing issue queues with no retire log; every other
+        shape replays the trace through the generic loop.
+        """
+        config = self.config
+        stats = self.stats
+        fe = self.frontend
+        trace = fe.trace
+        trace_entries = trace.entries
+        fe_predict = fe._predict
+        buffer = fe.buffer
+        fetch_width = config.fetch_width
+        fetch_buffer_entries = config.fetch_buffer_entries
+        icache_access = self.icache.access
+        icache_hit = self.icache.hit_latency
+        bpu_stats = stats.predictor
+        rob = self.rob
+        rob_q = rob._queue
+        rob_entries = rob.entries
+        rob_stats = stats.rob
+        iq_int = self.iq_int
+        iq_mem = self.iq_mem
+        iq_fp = self.iq_fp
+        int_q = iq_int._queue
+        mem_q = iq_mem._queue
+        fp_q = iq_fp._queue
+        int_iq_stats = stats.int_iq
+        mem_iq_stats = stats.mem_iq
+        fp_iq_stats = stats.fp_iq
+        int_iq_entries = iq_int.entries
+        mem_iq_entries = iq_mem.entries
+        fp_iq_entries = iq_fp.entries
+        int_slot_writes = int_iq_stats.slot_writes
+        mem_slot_writes = mem_iq_stats.slot_writes
+        fp_slot_writes = fp_iq_stats.slot_writes
+        int_hist = iq_int._occ_hist
+        mem_hist = iq_mem._occ_hist
+        fp_hist = iq_fp._occ_hist
+        lsu = self.lsu
+        ldq = lsu._ldq
+        stq = lsu._stq
+        lsu_stats = stats.lsu
+        ldq_entries = config.ldq_entries
+        stq_entries = config.stq_entries
+        fus = self.fus
+        exec_stats = stats.execute
+        dcache = self.dcache
+        dcache_access = dcache.access
+        dcache_mshrs = dcache._mshrs
+        dcache_stats = stats.dcache
+        int_unit = self.rename.int_unit
+        fp_unit = self.rename.fp_unit
+        int_ren_stats = int_unit.stats
+        fp_ren_stats = fp_unit.stats
+        int_rf = stats.int_regfile
+        fp_rf = stats.fp_regfile
+        frontend_stats = stats.frontend
+        completions = self._completions
+        acc = stats.accounting
+        by_trace = acc.dispatch_by_trace
+        by_class = stats.retired_by_class
+        commit_width = config.commit_width
+        decode_width = config.decode_width
+        alu_units = config.alu_units
+        mem_units = config.mem_units
+        fp_units = config.fp_units
+        max_branches = config.max_branches
+        lazy_fp = config.fp_rename_lazy_snapshots
+        _COMPLETED = COMPLETED
+        _ISSUED = ISSUED
+        _ALU = OpClass.ALU
+        _SYSTEM = OpClass.SYSTEM
+        _BRANCH = OpClass.BRANCH
+        _JAL = OpClass.JAL
+        _JALR = OpClass.JALR
+        _MUL = OpClass.MUL
+        _DIV = OpClass.DIV
+        _FP_ALU = OpClass.FP_ALU
+        _FP_MUL = OpClass.FP_MUL
+        _FP_CVT = OpClass.FP_CVT
+        _FP_DIV = OpClass.FP_DIV
+        _REDIRECT = REDIRECT_PENALTY
+        _LINE = _LINE_SHIFT
+        cycle = self.cycle
+        retired_total = self.retired_total
+        entry_retired = retired_total
+        branches_in_flight = self.branches_in_flight
+        fp_in_flight = self.fp_in_flight
+        cycles_count = 0
+        # Structure sizes tracked incrementally (mirrors len() exactly:
+        # every append/popleft/remove/rebind below adjusts its counter).
+        rob_n = len(rob_q)
+        int_n = len(int_q)
+        mem_n = len(mem_q)
+        fp_n = len(fp_q)
+        ldq_n = len(ldq)
+        stq_n = len(stq)
+        buf_n = len(buffer)
+        # Frontend cursor state, hoisted for the duration of the call
+        # (fe_predict writes fe.blocked_by / fe.stall_until; the fetch
+        # block re-syncs the locals right after any predictor call).
+        pos = fe.pos
+        fe_pc = fe.pc
+        seq = fe._seq
+        stall_until = fe.stall_until
+        blocked = fe.blocked_by
+        exited = trace.exited
+        n_entries = len(trace_entries)
+        # Per-call accumulators for counters bumped (multiple times) per
+        # cycle; folded into the stats tree in the finally block.
+        fbo = 0        # frontend fetch_buffer_occupancy
+        fs = 0         # frontend fetch_stall_cycles
+        ica = 0        # icache accesses == predictor lookups
+        icm = 0        # icache misses
+        fbw = 0        # fetch_buffer_writes
+        fbr = 0        # fetch_buffer_reads
+        dw = 0         # rob dispatch_writes
+        rob_occ = 0    # rob occupancy sum
+        ldq_occ = 0
+        stq_occ = 0
+        acc_rob = 0    # accounting occupancy-at-retire sums
+        acc_iq = 0
+        acc_lsu = 0
+        wb = 0         # wakeup broadcasts (same count for all 3 queues)
+        irf_w = 0      # int regfile writes
+        fprf_w = 0     # fp regfile writes
+        # A queue goes "stale" after a scan that issued nothing and
+        # mutated no state; readiness is event-driven (a completion, a
+        # dispatch into the queue, or a busy-divider retry), so a stale
+        # queue scans identically — and silently — until the next event.
+        int_stale = False
+        mem_stale = False
+        fp_stale = False
+
+        def finish_issue(uop: Uop, cycle: int, latency: int) -> None:
+            # Inline twin of _finish_issue (closure-hoisted stats refs).
+            uop.state = _ISSUED
+            uop.issue_cycle = cycle
+            bypassed_x = 0
+            bypassed_f = 0
+            threshold = cycle - 1
+            for producer in uop.srcs:
+                if producer.complete_cycle >= threshold:
+                    if producer.dest_kind == "x":
+                        bypassed_x += 1
+                    else:
+                        bypassed_f += 1
+            int_rf.bypasses += bypassed_x
+            fp_rf.bypasses += bypassed_f
+            extra = uop.x_reads - bypassed_x
+            if extra > 0:
+                int_rf.reads += extra
+            extra = uop.f_reads - bypassed_f
+            if extra > 0:
+                fp_rf.reads += extra
+            complete_cycle = cycle + latency
+            uop.complete_cycle = complete_cycle
+            bucket = completions.get(complete_cycle)
+            if bucket is None:
+                completions[complete_cycle] = [uop]
+            else:
+                bucket.append(uop)
+
+        try:
+            while True:
+                if target is not None and retired_total >= target:
+                    break
+                if not buf_n and not rob_n and exited \
+                        and pos >= n_entries:
+                    break
+
+                # ---- commit ----
+                width = commit_width
+                while width > 0 and rob_n:
+                    head = rob_q[0]
+                    if head.state != _COMPLETED \
+                            or head.complete_cycle > cycle:
+                        break
+                    if head.is_store:
+                        latency = dcache_access(head.mem_addr, cycle,
+                                                is_write=True)
+                        if latency is None:
+                            break  # all MSHRs busy; retry next cycle
+                    rob_q.popleft()
+                    rob_n -= 1
+                    dest_kind = head.dest_kind
+                    if dest_kind:
+                        unit = int_unit if dest_kind == "x" else fp_unit
+                        unit.free += 1
+                        unit.stats.freelist_frees += 1
+                        unit.total_frees += 1
+                        producers = unit.producers
+                        rd = head.instr.rd
+                        if producers.get(rd) is head:
+                            del producers[rd]
+                    if head.is_load:
+                        ldq.remove(head)
+                        ldq_n -= 1
+                    elif head.is_store:
+                        stq.remove(head)
+                        stq_n -= 1
+                    if head.is_control:
+                        branches_in_flight -= 1
+                    if dest_kind == "f" or head.queue == "fp":
+                        fp_in_flight -= 1
+                    acc_rob += rob_n
+                    acc_iq += int_n + mem_n + fp_n
+                    acc_lsu += ldq_n + stq_n
+                    name = head.opclass_name
+                    by_class[name] = by_class.get(name, 0) + 1
+                    retired_total += 1
+                    width -= 1
+
+                # ---- complete / writeback ----
+                done = completions.pop(cycle, None)
+                if done:
+                    int_stale = mem_stale = fp_stale = False
+                    for uop in done:
+                        uop.state = _COMPLETED
+                        dest_kind = uop.dest_kind
+                        if dest_kind == "x":
+                            irf_w += 1
+                        elif dest_kind == "f":
+                            fprf_w += 1
+                        if dest_kind:
+                            wb += 1
+                        if uop.mispredicted:
+                            int_ren_stats.snapshot_restores += 1
+                            int_unit.total_restores += 1
+                            if uop.fp_snapshotted:
+                                fp_ren_stats.snapshot_restores += 1
+                                fp_unit.total_restores += 1
+                            rob_stats.flushes += 1
+
+                # ---- issue: int queue (collapsing select, inlined) ----
+                if int_n and not int_stale:
+                    kept = None
+                    kept_n = 0
+                    issued_n = 0
+                    index = 0
+                    div_blocked = False
+                    for uop in int_q:
+                        took = False
+                        if kept is None or issued_n < alu_units:
+                            ok = True
+                            for producer in uop.srcs:
+                                if producer.state != _COMPLETED \
+                                        or producer.complete_cycle > cycle:
+                                    ok = False
+                                    break
+                            if ok:
+                                # ExecutionUnits.can_accept + dispatch,
+                                # unrolled per opclass (same counters and
+                                # latencies as execute.LATENCY).
+                                opclass = uop.opclass
+                                latency = 0
+                                if opclass is _ALU or opclass is _SYSTEM:
+                                    exec_stats.alu_ops += 1
+                                    latency = 1
+                                elif opclass is _BRANCH \
+                                        or opclass is _JAL \
+                                        or opclass is _JALR:
+                                    exec_stats.branch_ops += 1
+                                    exec_stats.alu_ops += 1
+                                    latency = 1
+                                elif opclass is _MUL:
+                                    exec_stats.mul_ops += 1
+                                    latency = 3
+                                elif opclass is _FP_ALU:
+                                    exec_stats.fp_alu_ops += 1
+                                    latency = 3
+                                elif opclass is _FP_MUL:
+                                    exec_stats.fp_mul_ops += 1
+                                    latency = 4
+                                elif opclass is _FP_CVT:
+                                    exec_stats.fp_cvt_ops += 1
+                                    latency = 2
+                                elif opclass is _DIV:
+                                    if fus._div_busy_until <= cycle:
+                                        fus._div_busy_until = cycle + 13
+                                        exec_stats.div_ops += 1
+                                        exec_stats.div_busy_cycles += 13
+                                        latency = 13
+                                    else:
+                                        div_blocked = True
+                                elif opclass is _FP_DIV:
+                                    if fus._fp_div_busy_until <= cycle:
+                                        fus._fp_div_busy_until = cycle + 16
+                                        exec_stats.fp_div_ops += 1
+                                        latency = 16
+                                    else:
+                                        div_blocked = True
+                                if latency:
+                                    finish_issue(uop, cycle, latency)
+                                    took = True
+                        if took:
+                            if kept is None:
+                                kept = int_q[:index]
+                                kept_n = index
+                            issued_n += 1
+                        elif kept is not None:
+                            if kept_n != index:
+                                int_iq_stats.shifts += 1
+                                int_slot_writes[kept_n] += 1
+                            kept.append(uop)
+                            kept_n += 1
+                        index += 1
+                    if kept is not None:
+                        iq_int._queue = int_q = kept
+                        int_n = kept_n
+                        int_iq_stats.issues += issued_n
+                    elif not div_blocked:
+                        int_stale = True
+
+                # ---- issue: mem queue ----
+                if mem_n and not mem_stale:
+                    kept = None
+                    kept_n = 0
+                    issued_n = 0
+                    index = 0
+                    touched = False
+                    for uop in mem_q:
+                        took = False
+                        if kept is None or issued_n < mem_units:
+                            ok = True
+                            for producer in uop.srcs:
+                                if producer.state != _COMPLETED \
+                                        or producer.complete_cycle > cycle:
+                                    ok = False
+                                    break
+                            if ok:
+                                if uop.is_load:
+                                    lseq = uop.seq
+                                    may = True
+                                    for store in stq:
+                                        if store.seq > lseq:
+                                            break
+                                        if not store.addr_ready:
+                                            may = False
+                                            break
+                                    if may:
+                                        touched = True
+                                        exec_stats.agu_ops += 1
+                                        addr = uop.mem_addr
+                                        tline = addr >> 3
+                                        hit = False
+                                        searches = 0
+                                        for store in stq:
+                                            if store.seq > lseq:
+                                                break
+                                            searches += 1
+                                            if store.addr_ready and \
+                                                    (store.mem_addr >> 3) \
+                                                    == tline:
+                                                hit = True
+                                        lsu_stats.cam_searches += searches
+                                        if hit:
+                                            lsu_stats.forwards += 1
+                                            finish_issue(uop, cycle,
+                                                         _FORWARD_LATENCY)
+                                            took = True
+                                        else:
+                                            access = dcache_access(addr,
+                                                                   cycle)
+                                            if access is not None:
+                                                finish_issue(uop, cycle,
+                                                             access)
+                                                took = True
+                                else:
+                                    # Store AGU pass: STORE/FP_STORE both
+                                    # count one AGU op, single-cycle.
+                                    exec_stats.agu_ops += 1
+                                    uop.addr_ready = True
+                                    finish_issue(uop, cycle, 1)
+                                    took = True
+                        if took:
+                            if kept is None:
+                                kept = mem_q[:index]
+                                kept_n = index
+                            issued_n += 1
+                        elif kept is not None:
+                            if kept_n != index:
+                                mem_iq_stats.shifts += 1
+                                mem_slot_writes[kept_n] += 1
+                            kept.append(uop)
+                            kept_n += 1
+                        index += 1
+                    if kept is not None:
+                        iq_mem._queue = mem_q = kept
+                        mem_n = kept_n
+                        mem_iq_stats.issues += issued_n
+                    elif not touched:
+                        # No load reached its AGU/CAM step, so the scan
+                        # was side-effect free and will stay that way
+                        # until a completion, dispatch, or store issue.
+                        mem_stale = True
+
+                # ---- issue: fp queue ----
+                if fp_n and not fp_stale:
+                    kept = None
+                    kept_n = 0
+                    issued_n = 0
+                    index = 0
+                    div_blocked = False
+                    for uop in fp_q:
+                        took = False
+                        if kept is None or issued_n < fp_units:
+                            ok = True
+                            for producer in uop.srcs:
+                                if producer.state != _COMPLETED \
+                                        or producer.complete_cycle > cycle:
+                                    ok = False
+                                    break
+                            if ok:
+                                # ExecutionUnits.can_accept + dispatch,
+                                # unrolled per opclass (same counters and
+                                # latencies as execute.LATENCY).
+                                opclass = uop.opclass
+                                latency = 0
+                                if opclass is _ALU or opclass is _SYSTEM:
+                                    exec_stats.alu_ops += 1
+                                    latency = 1
+                                elif opclass is _BRANCH \
+                                        or opclass is _JAL \
+                                        or opclass is _JALR:
+                                    exec_stats.branch_ops += 1
+                                    exec_stats.alu_ops += 1
+                                    latency = 1
+                                elif opclass is _MUL:
+                                    exec_stats.mul_ops += 1
+                                    latency = 3
+                                elif opclass is _FP_ALU:
+                                    exec_stats.fp_alu_ops += 1
+                                    latency = 3
+                                elif opclass is _FP_MUL:
+                                    exec_stats.fp_mul_ops += 1
+                                    latency = 4
+                                elif opclass is _FP_CVT:
+                                    exec_stats.fp_cvt_ops += 1
+                                    latency = 2
+                                elif opclass is _DIV:
+                                    if fus._div_busy_until <= cycle:
+                                        fus._div_busy_until = cycle + 13
+                                        exec_stats.div_ops += 1
+                                        exec_stats.div_busy_cycles += 13
+                                        latency = 13
+                                    else:
+                                        div_blocked = True
+                                elif opclass is _FP_DIV:
+                                    if fus._fp_div_busy_until <= cycle:
+                                        fus._fp_div_busy_until = cycle + 16
+                                        exec_stats.fp_div_ops += 1
+                                        latency = 16
+                                    else:
+                                        div_blocked = True
+                                if latency:
+                                    finish_issue(uop, cycle, latency)
+                                    took = True
+                        if took:
+                            if kept is None:
+                                kept = fp_q[:index]
+                                kept_n = index
+                            issued_n += 1
+                        elif kept is not None:
+                            if kept_n != index:
+                                fp_iq_stats.shifts += 1
+                                fp_slot_writes[kept_n] += 1
+                            kept.append(uop)
+                            kept_n += 1
+                        index += 1
+                    if kept is not None:
+                        iq_fp._queue = fp_q = kept
+                        fp_n = kept_n
+                        fp_iq_stats.issues += issued_n
+                    elif not div_blocked:
+                        fp_stale = True
+
+                # ---- dispatch (decode + rename) ----
+                if buf_n:
+                    width = decode_width
+                    while width > 0 and buf_n:
+                        uop = buffer[0]
+                        if rob_n >= rob_entries:
+                            rob_stats.full_stall_cycles += 1
+                            break
+                        qname = uop.queue
+                        if qname == "int":
+                            if int_n >= int_iq_entries:
+                                int_iq_stats.full_stall_cycles += 1
+                                break
+                            q = int_q
+                            q_stats = int_iq_stats
+                            q_n = int_n
+                            qsel = 0
+                        elif qname == "mem":
+                            if mem_n >= mem_iq_entries:
+                                mem_iq_stats.full_stall_cycles += 1
+                                break
+                            q = mem_q
+                            q_stats = mem_iq_stats
+                            q_n = mem_n
+                            qsel = 1
+                        else:
+                            if fp_n >= fp_iq_entries:
+                                fp_iq_stats.full_stall_cycles += 1
+                                break
+                            q = fp_q
+                            q_stats = fp_iq_stats
+                            q_n = fp_n
+                            qsel = 2
+                        dest_kind = uop.dest_kind
+                        if dest_kind:
+                            unit = int_unit if dest_kind == "x" else fp_unit
+                            if unit.free <= 0:
+                                unit.stats.stall_cycles += 1
+                                break
+                        if uop.is_control \
+                                and branches_in_flight >= max_branches:
+                            break
+                        if uop.is_load:
+                            if ldq_n >= ldq_entries:
+                                break
+                        elif uop.is_store:
+                            if stq_n >= stq_entries:
+                                break
+                        buffer.popleft()
+                        buf_n -= 1
+                        fbr += 1
+                        fp_snapshot = (not lazy_fp) or fp_in_flight > 0
+                        sources = []
+                        for kind, reg in uop.src_regs:
+                            unit = int_unit if kind == "x" else fp_unit
+                            unit.stats.map_reads += 1
+                            producer = unit.producers.get(reg)
+                            if producer is not None:
+                                sources.append(producer)
+                        uop.srcs = tuple(sources)
+                        if dest_kind:
+                            unit = int_unit if dest_kind == "x" else fp_unit
+                            unit.free -= 1
+                            unit_stats = unit.stats
+                            unit_stats.freelist_allocs += 1
+                            unit_stats.map_writes += 1
+                            unit.total_allocs += 1
+                            unit.producers[uop.instr.rd] = uop
+                        if uop.is_control:
+                            int_ren_stats.snapshots += 1
+                            int_unit.total_snapshots += 1
+                            if fp_snapshot:
+                                fp_ren_stats.snapshots += 1
+                                fp_unit.total_snapshots += 1
+                                uop.fp_snapshotted = True
+                        uop.dispatch_cycle = cycle
+                        rob_q.append(uop)
+                        rob_n += 1
+                        dw += 1
+                        q_stats.writes += 1
+                        q_stats.slot_writes[q_n] += 1
+                        q.append(uop)
+                        if qsel == 0:
+                            int_n = q_n + 1
+                            int_stale = False
+                        elif qsel == 1:
+                            mem_n = q_n + 1
+                            mem_stale = False
+                        else:
+                            fp_n = q_n + 1
+                            fp_stale = False
+                        if uop.is_load:
+                            ldq.append(uop)
+                            ldq_n += 1
+                            lsu_stats.ldq_writes += 1
+                        elif uop.is_store:
+                            stq.append(uop)
+                            stq_n += 1
+                            lsu_stats.stq_writes += 1
+                        if uop.is_control:
+                            branches_in_flight += 1
+                        if dest_kind == "f" or qname == "fp":
+                            fp_in_flight += 1
+                        key = uop.trace_key
+                        by_trace[key] = by_trace.get(key, 0) + 1
+                        width -= 1
+
+                # ---- fetch (TraceFetchUnit.cycle, inlined) ----
+                fbo += buf_n
+                if pos + fetch_width > n_entries and not exited:
+                    trace.ensure(pos + fetch_width)
+                    n_entries = len(trace_entries)
+                    exited = trace.exited
+                if pos < n_entries or not exited:
+                    if blocked is not None:
+                        if blocked.state == _COMPLETED and cycle >= \
+                                blocked.complete_cycle + _REDIRECT:
+                            fe.blocked_by = blocked = None
+                        else:
+                            fs += 1
+                    if blocked is None:
+                        if cycle < stall_until:
+                            fs += 1
+                        else:
+                            space = fetch_buffer_entries - buf_n
+                            if space > 0:
+                                latency = icache_access(fe_pc, cycle)
+                                ica += 1
+                                if latency is None:
+                                    stall_until = cycle + 1
+                                    fs += 1
+                                elif latency > icache_hit:
+                                    icm += 1
+                                    stall_until = cycle + latency
+                                    fs += 1
+                                else:
+                                    budget = fetch_width \
+                                        if fetch_width < space else space
+                                    line = fe_pc >> _LINE
+                                    predicted = False
+                                    while budget > 0 and pos < n_entries:
+                                        entry = trace_entries[pos]
+                                        dec, epc, mem_addr, taken, \
+                                            next_pc = entry
+                                        if epc >> _LINE != line:
+                                            break
+                                        uop = dec.make_uop(seq)
+                                        seq += 1
+                                        if dec.is_mem:
+                                            uop.mem_addr = mem_addr
+                                        pos += 1
+                                        fe_pc = next_pc
+                                        buffer.append(uop)
+                                        buf_n += 1
+                                        fbw += 1
+                                        budget -= 1
+                                        if dec.is_control:
+                                            predicted = True
+                                            if fe_predict(uop, epc, taken,
+                                                          next_pc, cycle):
+                                                break
+                                    if predicted:
+                                        # _predict may have set a redirect
+                                        # block or a BTB bubble; re-sync
+                                        # the hoisted locals.  A stale
+                                        # stall_until is always <= cycle
+                                        # (it last gated a passed cycle),
+                                        # so re-reading it is harmless.
+                                        blocked = fe.blocked_by
+                                        stall_until = fe.stall_until
+
+                # ---- per-cycle occupancy sampling ----
+                rob_occ += rob_n
+                int_hist[int_n] += 1
+                mem_hist[mem_n] += 1
+                fp_hist[fp_n] += 1
+                ldq_occ += ldq_n
+                stq_occ += stq_n
+                if dcache_mshrs:
+                    dcache_stats.mshr_occupancy += \
+                        dcache.mshr_occupancy(cycle)
+
+                cycle += 1
+                cycles_count += 1
+                if cycle > deadline:
+                    raise SimulationError(
+                        f"pipeline made no progress for "
+                        f"{_SAFETY_FACTOR}x the instruction budget "
+                        f"(deadlock?) at cycle {cycle}")
+        finally:
+            # Locals are authoritative inside the loop; settle them back
+            # onto the core (and fold the accumulators into the stats
+            # tree) before control (or an exception) leaves.
+            self.cycle = cycle
+            self.retired_total = retired_total
+            self.branches_in_flight = branches_in_flight
+            self.fp_in_flight = fp_in_flight
+            stats.cycles += cycles_count
+            fe.pos = pos
+            fe.pc = fe_pc
+            fe._seq = seq
+            fe.stall_until = stall_until
+            fe.blocked_by = blocked
+            delta = retired_total - entry_retired
+            stats.retired += delta
+            rob_stats.commit_reads += delta
+            acc.retires_sampled += delta
+            acc.rob_occupancy_at_retire += acc_rob
+            acc.iq_occupancy_at_retire += acc_iq
+            acc.lsu_occupancy_at_retire += acc_lsu
+            rob_stats.occupancy += rob_occ
+            rob_stats.dispatch_writes += dw
+            frontend_stats.fetch_buffer_occupancy += fbo
+            frontend_stats.fetch_stall_cycles += fs
+            frontend_stats.icache_accesses += ica
+            frontend_stats.icache_misses += icm
+            frontend_stats.fetch_buffer_writes += fbw
+            frontend_stats.fetch_buffer_reads += fbr
+            bpu_stats.lookups += ica
+            lsu_stats.ldq_occupancy += ldq_occ
+            lsu_stats.stq_occupancy += stq_occ
+            int_iq_stats.wakeup_broadcasts += wb
+            mem_iq_stats.wakeup_broadcasts += wb
+            fp_iq_stats.wakeup_broadcasts += wb
+            int_rf.writes += irf_w
+            fp_rf.writes += fprf_w

@@ -29,7 +29,7 @@ class DecodedOp:
     __slots__ = ("fn", "instr", "opclass", "opclass_name", "queue",
                  "dest_kind", "x_reads", "f_reads", "src_regs", "is_load",
                  "is_store", "is_mem", "is_control", "addr_ready",
-                 "rs1", "imm")
+                 "rs1", "imm", "trace_key")
 
     def __init__(self, instr: Instruction) -> None:
         self.fn = semantics_for(instr)
@@ -64,6 +64,7 @@ class DecodedOp:
         self.addr_ready = not self.is_store
         self.rs1 = instr.rs1
         self.imm = instr.imm
+        self.trace_key = f"{instr.pc:#x}"
 
     def make_uop(self, seq: int) -> Uop:
         """Stamp out one in-flight uop from this template (hot path)."""
@@ -91,11 +92,40 @@ class DecodedOp:
         uop.addr_ready = self.addr_ready
         uop.dispatch_cycle = -1
         uop.issue_cycle = -1
+        uop.trace_key = self.trace_key
         return uop
 
 
 #: Program identity -> decode table, evicted when the program is collected.
 _DECODE_CACHES: dict[int, list[DecodedOp]] = {}
+
+
+def _assign_trace_keys(table: list[DecodedOp]) -> None:
+    """Label every template with its static basic-block leader pc.
+
+    Leaders are the program entry, every instruction after a control
+    transfer, and every statically-known branch/jump target.  The label is
+    a pure function of the program text, so the serial and batched engines
+    attribute dispatches to identical trace keys.
+    """
+    if not table:
+        return
+    pcs = {dec.instr.pc for dec in table}
+    leaders = {table[0].instr.pc}
+    for dec in table:
+        if dec.is_control:
+            instr = dec.instr
+            leaders.add(instr.pc + 4)
+            if dec.opclass_name in ("BRANCH", "JAL"):
+                target = instr.pc + instr.imm
+                if target in pcs:
+                    leaders.add(target)
+    current = table[0].instr.pc
+    for dec in table:
+        pc = dec.instr.pc
+        if pc in leaders:
+            current = pc
+        dec.trace_key = f"{current:#x}"
 
 
 def decode_program(program: Program) -> list[DecodedOp]:
@@ -104,6 +134,7 @@ def decode_program(program: Program) -> list[DecodedOp]:
     table = _DECODE_CACHES.get(key)
     if table is None:
         table = [DecodedOp(instr) for instr in program.instructions]
+        _assign_trace_keys(table)
         _DECODE_CACHES[key] = table
         weakref.finalize(program, _DECODE_CACHES.pop, key, None)
     return table

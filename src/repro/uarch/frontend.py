@@ -179,3 +179,112 @@ class FetchUnit:
             # Correctly-predicted taken control flow ends the fetch group.
             return True
         return False
+
+
+class TraceFetchUnit(FetchUnit):
+    """Fetch driven by a shared pre-recorded oracle trace.
+
+    Replays the config-invariant instruction stream recorded in a
+    :class:`~repro.uarch.ftrace.FetchTrace` through this config's private
+    fetch timing.  Every timing decision — I-cache access, predictor
+    lookups, fetch-group boundaries, stall bookkeeping — follows the exact
+    code path of the oracle-driven :class:`FetchUnit`, so the stats it
+    produces are bit-identical; only the semantic execution of the
+    functional model is replaced by reading recorded entries.  One trace
+    instance may feed many cores (the batched engine's shared front-end
+    work); each unit keeps a private cursor.
+    """
+
+    def __init__(self, config: BoomConfig, program: Program, trace,
+                 bpu: BranchPredictionUnit, icache: L1Cache,
+                 stats: FrontendStats) -> None:
+        self.config = config
+        self.program = program
+        self.trace = trace
+        self.bpu = bpu
+        self.icache = icache
+        self.stats = stats
+        self._ops = decode_program(program)
+        self.buffer = deque()
+        self.stall_until = 0
+        self.blocked_by = None
+        self._seq = 0
+        self.pc = trace.start_pc
+        self.pos = 0
+
+    @property
+    def exited(self) -> bool:
+        # The oracle FetchUnit's state.exited flips right after the exit
+        # instruction is fetched; in trace terms that is "cursor past the
+        # end of an exhausted trace".
+        trace = self.trace
+        return trace.exited and self.pos >= len(trace.entries)
+
+    @property
+    def out_of_instructions(self) -> bool:
+        return self.exited and not self.buffer
+
+    def cycle(self, cycle: int) -> None:
+        """Run one fetch cycle (mirrors :meth:`FetchUnit.cycle`)."""
+        stats = self.stats
+        stats.fetch_buffer_occupancy += len(self.buffer)
+        trace = self.trace
+        fetch_width = self.config.fetch_width
+        if len(trace.entries) < self.pos + fetch_width and not trace.exited:
+            trace.ensure(self.pos + fetch_width)
+        if trace.exited and self.pos >= len(trace.entries):
+            return
+        if self.blocked_by is not None:
+            blocker = self.blocked_by
+            if blocker.state == COMPLETED and \
+                    cycle >= blocker.complete_cycle + REDIRECT_PENALTY:
+                self.blocked_by = None
+            else:
+                stats.fetch_stall_cycles += 1
+                return
+        if cycle < self.stall_until:
+            stats.fetch_stall_cycles += 1
+            return
+        space = self.config.fetch_buffer_entries - len(self.buffer)
+        if space <= 0:
+            return
+        latency = self.icache.access(self.pc, cycle)
+        stats.icache_accesses += 1
+        self.bpu.stats.lookups += 1
+        if latency is None:
+            self.stall_until = cycle + 1
+            stats.fetch_stall_cycles += 1
+            return
+        if latency > self.icache.hit_latency:
+            stats.icache_misses += 1
+            self.stall_until = cycle + latency
+            stats.fetch_stall_cycles += 1
+            return
+        self._fetch_group(cycle, min(fetch_width, space))
+
+    def _fetch_group(self, cycle: int, budget: int) -> None:
+        entries = self.trace.entries
+        end = len(entries)
+        stats = self.stats
+        buffer = self.buffer
+        pos = self.pos
+        line = self.pc >> _LINE_SHIFT
+        seq = self._seq
+        while budget > 0 and pos < end:
+            dec, pc, mem_addr, taken, next_pc = entries[pos]
+            if pc >> _LINE_SHIFT != line:
+                break  # next line is a new fetch group (new I$ access)
+            uop = dec.make_uop(seq)
+            seq += 1
+            if dec.is_mem:
+                uop.mem_addr = mem_addr
+            pos += 1
+            self.pc = next_pc
+            buffer.append(uop)
+            stats.fetch_buffer_writes += 1
+            budget -= 1
+            if dec.is_control:
+                if self._predict(uop, pc, taken, next_pc, cycle):
+                    break
+        self._seq = seq
+        self.pos = pos

@@ -1,0 +1,82 @@
+"""Config-invariant fetch trace: the oracle instruction stream, recorded once.
+
+The detailed core is oracle-driven: fetch steps a functional model
+instruction-by-instruction so branch outcomes and effective addresses are
+known at fetch time (frontend.py).  Those outcomes are a pure function of
+the checkpointed architectural state — identical for *every* uarch config
+that replays the same checkpoint.  Replaying a SimPoint across N configs
+therefore re-executes the same semantics N times.
+
+A :class:`FetchTrace` lifts that work out of the per-config loop: it steps
+one private functional model and records, per dynamic instruction, the
+decoded template, fetch pc, effective address, taken flag, and next pc.
+Each config's :class:`~repro.uarch.frontend.TraceFetchUnit` then replays
+the shared stream through its own private timing (I-cache, predictor,
+fetch buffer), producing bit-identical stats to oracle-driven fetch.
+
+The trace extends lazily in chunks: configs consume it at different rates
+(different fetch widths and stall patterns), and the builder only runs as
+far as the hungriest consumer needs.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, TEXT_BASE
+from repro.sim.state import ArchState, MASK64
+from repro.uarch.decode import DecodedOp, decode_program
+
+#: Trace-entry tuple layout: (decoded template, pc, effective address,
+#: taken flag, next pc).
+Entry = tuple[DecodedOp, int, int, bool, int]
+
+_CHUNK = 16384
+
+
+class FetchTrace:
+    """Lazily-built oracle fetch stream for one checkpoint replay."""
+
+    __slots__ = ("program", "entries", "start_pc", "exited", "_state",
+                 "_ops")
+
+    def __init__(self, program: Program, state: ArchState) -> None:
+        self.program = program
+        self.entries: list[Entry] = []
+        self.start_pc = state.pc
+        self.exited = state.exited
+        self._state = state
+        self._ops = decode_program(program)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def ensure(self, count: int) -> None:
+        """Extend the trace to at least ``count`` entries (or exhaustion).
+
+        Extends by at least a chunk per call so replay-side checks stay
+        out of the hot loop.
+        """
+        entries = self.entries
+        if self.exited or len(entries) >= count:
+            return
+        state = self._state
+        ops = self._ops
+        append = entries.append
+        x = state.x
+        budget = max(count, len(entries) + _CHUNK) - len(entries)
+        while budget > 0 and not state.exited:
+            pc = state.pc
+            dec = ops[(pc - TEXT_BASE) >> 2]
+            if dec.is_mem:
+                mem_addr = (x[dec.rs1] + dec.imm) & MASK64
+            else:
+                mem_addr = 0
+            next_pc = dec.fn(state, dec.instr)
+            if next_pc is not None:
+                state.pc = next_pc
+                append((dec, pc, mem_addr, True, next_pc))
+            else:
+                next_pc = pc + 4
+                state.pc = next_pc
+                append((dec, pc, mem_addr, False, next_pc))
+            budget -= 1
+        self.exited = state.exited

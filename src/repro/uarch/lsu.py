@@ -27,6 +27,9 @@ class LoadStoreUnit:
     def rebind_stats(self, stats: LsuStats) -> None:
         self.stats = stats
 
+    def __len__(self) -> int:
+        return len(self._ldq) + len(self._stq)
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------

@@ -122,6 +122,24 @@ class ExecuteStats:
 
 
 @dataclass
+class AccountingStats:
+    """Commit/retire attribution counters (R10K-style ipc report inputs).
+
+    Occupancies are sampled at each retire, *after* the retiring uop has
+    left the structure, so serial and batched engines (which interleave
+    bookkeeping differently) observe identical values.  ``dispatch_by_trace``
+    keys dispatch counts by the static basic-block leader pc of each uop
+    (``DecodedOp.trace_key``), attributing pipeline work to hot traces.
+    """
+
+    retires_sampled: int = 0
+    rob_occupancy_at_retire: int = 0
+    iq_occupancy_at_retire: int = 0
+    lsu_occupancy_at_retire: int = 0
+    dispatch_by_trace: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
 class CoreStats:
     """The complete measured activity of one simulation window."""
 
@@ -142,6 +160,7 @@ class CoreStats:
     icache: CacheStats = field(default_factory=CacheStats)
     dcache: CacheStats = field(default_factory=CacheStats)
     execute: ExecuteStats = field(default_factory=ExecuteStats)
+    accounting: AccountingStats = field(default_factory=AccountingStats)
 
     @property
     def ipc(self) -> float:
@@ -185,4 +204,6 @@ class CoreStats:
             lsu=LsuStats(**data["lsu"]),
             icache=CacheStats(**data["icache"]),
             dcache=CacheStats(**data["dcache"]),
-            execute=ExecuteStats(**data["execute"]))
+            execute=ExecuteStats(**data["execute"]),
+            accounting=(AccountingStats(**data["accounting"])
+                        if "accounting" in data else AccountingStats()))

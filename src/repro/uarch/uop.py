@@ -23,7 +23,8 @@ class Uop:
                  "src_regs", "dest_kind", "state", "complete_cycle", "taken",
                  "mispredicted", "btb_bubble", "is_load", "is_store",
                  "is_control", "mem_addr", "addr_ready", "dispatch_cycle",
-                 "issue_cycle", "x_reads", "f_reads", "fp_snapshotted")
+                 "issue_cycle", "x_reads", "f_reads", "fp_snapshotted",
+                 "trace_key")
 
     def __init__(self, seq: int, instr: Instruction) -> None:
         self.seq = seq
@@ -64,6 +65,7 @@ class Uop:
         self.addr_ready = not instr.is_store
         self.dispatch_cycle = -1
         self.issue_cycle = -1
+        self.trace_key = f"{instr.pc:#x}"
 
     def ready(self, cycle: int) -> bool:
         """All source operands available at ``cycle``."""

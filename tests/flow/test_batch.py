@@ -1,0 +1,159 @@
+"""The batched multi-config simulation path of the sweep.
+
+``FlowSettings(batch=True)`` primes each workload's ``detailed_sim``
+artifacts through the batched engine (:mod:`repro.sim.batch`) — one
+shared fetch trace per checkpoint, every config replaying it — and the
+ordinary per-config pipeline consumes them as cache hits.  These tests
+pin the contract that makes the strategy safe to enable anywhere:
+
+* batched and serial sweeps produce byte-identical artifacts and
+  results;
+* any batch fault (permanent failure, transient I/O, mid-batch artifact
+  corruption) degrades that workload back to per-config simulation
+  without failing the sweep or poisoning sibling configs;
+* the parallel path runs the batch wave before the experiment wave and
+  inherits the same degradation rules.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.flow.experiment import FlowSettings
+from repro.flow.sweep import SweepRunner
+from repro.pipeline.stages import DETAILED_STAGE
+from repro.uarch.config import ALL_CONFIGS
+
+SCALE = 0.05
+WORKLOADS = ["sha"]
+CONFIGS = ALL_CONFIGS
+
+
+def _sweep(cache, *, batch=True, faults=None, jobs=1):
+    runner = SweepRunner(FlowSettings(scale=SCALE, batch=batch,
+                                      faults=faults),
+                         cache_dir=cache)
+    results = runner.run_all(configs=CONFIGS, workloads=WORKLOADS,
+                             jobs=jobs)
+    return runner, {key: result.to_dict()
+                    for key, result in results.items()}
+
+
+def _artifact_digests(cache) -> dict[str, str]:
+    """sha256 of every stage artifact (infrastructure files excluded)."""
+    out = {}
+    for path in sorted(Path(cache).rglob("*.json")):
+        if path.name in ("run_manifest.json", "sweep_state.json"):
+            continue
+        relative = str(path.relative_to(cache))
+        out[relative] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Fault-free serial per-config sweep: the bit-exactness baseline."""
+    cache = tmp_path_factory.mktemp("reference")
+    runner, results = _sweep(cache, batch=False)
+    assert runner.last_manifest.ok
+    return results, _artifact_digests(cache)
+
+
+def test_batch_off_by_default():
+    assert FlowSettings().batch is False
+
+
+def test_serial_batched_sweep_bit_identical(tmp_path, reference):
+    runner, results = _sweep(tmp_path, batch=True)
+    assert runner.last_manifest.ok
+    assert not runner.batch_degraded
+    assert results == reference[0]
+    assert _artifact_digests(tmp_path) == reference[1]
+
+
+def test_parallel_batch_wave_bit_identical(tmp_path, reference):
+    runner, results = _sweep(tmp_path, batch=True, jobs=2)
+    assert runner.last_manifest.ok
+    assert not runner.batch_degraded
+    assert results == reference[0]
+    assert _artifact_digests(tmp_path) == reference[1]
+
+
+def test_second_priming_is_a_no_op(tmp_path):
+    runner, _ = _sweep(tmp_path, batch=True)
+    assert runner.pipeline.prepare_detailed_batch(
+        WORKLOADS[0], list(CONFIGS)) == 0
+
+
+# ----------------------------------------------------------------------
+# degradation: a batch fault falls back to per-config simulation
+# ----------------------------------------------------------------------
+
+def test_serial_batch_failure_degrades_not_fails(tmp_path, reference):
+    runner, results = _sweep(tmp_path, batch=True,
+                             faults="worker.batch:fail:n=1")
+    manifest = runner.last_manifest
+    assert manifest.ok, manifest.format()
+    assert runner.batch_degraded.keys() == {"sha"}
+    assert results == reference[0]
+    assert _artifact_digests(tmp_path) == reference[1]
+
+
+def test_parallel_batch_failure_degrades_not_fails(tmp_path, reference):
+    runner, results = _sweep(tmp_path, batch=True, jobs=2,
+                             faults="worker.batch:fail:n=1")
+    manifest = runner.last_manifest
+    assert manifest.ok, manifest.format()
+    assert runner.batch_degraded.keys() == {"sha"}
+    assert results == reference[0]
+    assert _artifact_digests(tmp_path) == reference[1]
+
+
+def test_mid_batch_write_fault_degrades_cleanly(tmp_path, reference):
+    """A transient I/O fault inside the batch's artifact writes."""
+    runner, results = _sweep(
+        tmp_path, batch=True,
+        faults=f"artifact.write:io:n=1:k={DETAILED_STAGE}")
+    assert runner.last_manifest.ok
+    assert runner.batch_degraded.keys() == {"sha"}
+    assert results == reference[0]
+    # The fault-hit artifact may live only in the store's memory cache
+    # (the write failed once and the value was memoized — store
+    # behavior, independent of batching); every artifact that did land
+    # on disk must be byte-identical to the serial run's.
+    digests = _artifact_digests(tmp_path)
+    assert digests
+    assert all(reference[1].get(name) == digest
+               for name, digest in digests.items())
+
+
+def test_mid_batch_corruption_no_sibling_poisoning(tmp_path, reference):
+    """One batch-written detailed artifact is corrupted post-write.
+
+    ``corrupt`` does not raise, so the batch finishes priming the
+    remaining configs and the faulted sweep still completes (the store
+    memoized the valid in-memory value).  A *fresh* consumer of the
+    same cache then hits the corrupt artifact on read, discards it, and
+    recomputes that one config alone — siblings keep their batch-primed
+    artifacts, and every final byte matches the serial run.
+    """
+    runner, results = _sweep(
+        tmp_path, batch=True,
+        faults=f"artifact.write:corrupt:n=1:k={DETAILED_STAGE}")
+    assert runner.last_manifest.ok
+    assert not runner.batch_degraded  # the batch itself completed
+    assert results == reference[0]
+    digests = _artifact_digests(tmp_path)
+    corrupted = [name for name, digest in digests.items()
+                 if reference[1].get(name) != digest]
+    assert len(corrupted) == 1 and corrupted[0].startswith(DETAILED_STAGE)
+    # Fresh store over the same cache, forced through the detailed
+    # stage (a full rerun would short-circuit at the cached result):
+    # the corrupt artifact is discarded and recomputed, siblings are
+    # served as cache hits, and the cache converges byte-for-byte.
+    rerun = SweepRunner(FlowSettings(scale=SCALE), cache_dir=tmp_path)
+    for config in CONFIGS:
+        rerun.pipeline.detailed(WORKLOADS[0], config)
+    assert _artifact_digests(tmp_path) == reference[1]

@@ -10,13 +10,20 @@ path, the decode-cached frontend, and the batched-stats core are all
 * final architectural state, output, and the dynamic block stream (the
   ``control_hook`` BBV contract);
 * BBV profiles;
-* final ``uarch.stats`` counters and power reports per config.
+* final ``uarch.stats`` counters and power reports per config;
+* batched multi-config replay (one shared fetch trace feeding every
+  config) vs serial per-config simulation — bit-identical cycle counts
+  and stat dictionaries, including the ring-queue fallback shape and a
+  DSE-sampled off-preset point.
 """
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.checkpoint.checkpoint import Checkpoint
 from repro.goldens import (
     GOLDEN_SCALE,
     GOLDEN_SEED,
@@ -26,7 +33,12 @@ from repro.goldens import (
     load_golden,
     retire_pcs_from_blocks,
 )
+from repro.sim.executor import Executor
 from repro.sim.tracing import RetireTrace, diff_traces
+from repro.uarch.config import ALL_CONFIGS
+from repro.uarch.core import BoomCore
+from repro.uarch.ftrace import FetchTrace
+from repro.uarch.space import SpaceSpec, generate_points
 from repro.workloads.suite import build_program, workload_names
 
 WORKLOADS = workload_names()
@@ -81,3 +93,80 @@ def test_core_stats_and_power_match_golden(workload):
     golden = load_golden(workload)
     fixture = core_fixture(workload, _program(workload))
     assert fixture == golden["core"]
+
+
+# ----------------------------------------------------------------------
+# batched multi-config replay vs serial per-config simulation
+# ----------------------------------------------------------------------
+
+_BATCH_WARMUP = 500
+_BATCH_WINDOW = 2_000
+
+
+def _batch_checkpoint():
+    """One mid-execution checkpoint of the golden sha program."""
+    program = build_program("sha", scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    executor = Executor(program)
+    executor.run(max_instructions=1_500)
+    checkpoint = Checkpoint.capture(
+        executor.state, workload="sha", interval_index=0, weight=1.0,
+        warmup_instructions=_BATCH_WARMUP)
+    return program, checkpoint
+
+
+def _measure(core) -> tuple[int, str]:
+    core.run(_BATCH_WARMUP)
+    stats = core.begin_measurement()
+    core.run(_BATCH_WINDOW)
+    return core.cycle, json.dumps(stats.to_dict(), sort_keys=True)
+
+
+def _serial_runs(program, checkpoint, configs):
+    return {config.name:
+            _measure(BoomCore(config, program,
+                              state=checkpoint.restore()))
+            for config in configs}
+
+
+def _batched_runs(program, checkpoint, configs):
+    trace = FetchTrace(program, checkpoint.restore())
+    return {config.name: _measure(BoomCore(config, program, trace=trace))
+            for config in configs}
+
+
+def test_batched_presets_bit_identical():
+    """All three paper presets in ONE batch vs serial, full stat dicts."""
+    program, checkpoint = _batch_checkpoint()
+    serial = _serial_runs(program, checkpoint, ALL_CONFIGS)
+    batched = _batched_runs(program, checkpoint, ALL_CONFIGS)
+    for config in ALL_CONFIGS:
+        assert batched[config.name] == serial[config.name], config.name
+    # The presets genuinely diverge from each other (the batch did not
+    # collapse them onto one back-end).
+    cycles = {serial[config.name][0] for config in ALL_CONFIGS}
+    assert len(cycles) == len(ALL_CONFIGS)
+
+
+def test_batched_ring_queue_shape_bit_identical():
+    """The non-collapsing issue-queue fallback replays identically."""
+    program, checkpoint = _batch_checkpoint()
+    ring = tuple(config.with_issue_queues("ring")
+                 for config in ALL_CONFIGS[:2])
+    serial = _serial_runs(program, checkpoint, ring)
+    batched = _batched_runs(program, checkpoint, ring)
+    assert batched == serial
+
+
+def test_batched_dse_sampled_point_bit_identical():
+    """A generated off-preset design point joins the presets' batch."""
+    sampled = generate_points(SpaceSpec(base="LargeBOOM", mode="random",
+                                        count=1, seed=23,
+                                        include_presets=False))
+    assert len(sampled) == 1
+    configs = ALL_CONFIGS + (sampled[0],)
+    names = [config.name for config in configs]
+    assert len(set(names)) == len(names)
+    program, checkpoint = _batch_checkpoint()
+    serial = _serial_runs(program, checkpoint, configs)
+    batched = _batched_runs(program, checkpoint, configs)
+    assert batched == serial
