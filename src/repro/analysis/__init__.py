@@ -1,5 +1,14 @@
 """Analysis: tables, figure series, takeaway checks, efficiency summaries."""
 
+from repro.analysis.accuracy import (
+    AccuracyEvaluation,
+    MetricCheck,
+    build_envelope,
+    evaluate_accuracy,
+    format_accuracy,
+    load_envelopes,
+    write_envelope,
+)
 from repro.analysis.compare import (
     compare_sweeps,
     format_comparison,
@@ -55,6 +64,13 @@ from repro.analysis.takeaways import (
 )
 
 __all__ = [
+    "AccuracyEvaluation",
+    "MetricCheck",
+    "build_envelope",
+    "evaluate_accuracy",
+    "format_accuracy",
+    "load_envelopes",
+    "write_envelope",
     "compare_sweeps",
     "format_comparison",
     "SweepComparison",

@@ -1,0 +1,312 @@
+"""Golden accuracy envelopes and drift evaluation for the model.
+
+:mod:`repro.analysis.validation` answers "does the SimPoint estimate
+match the full detailed run?"; this module answers the orthogonal
+regression question: "does today's model still produce the numbers it
+produced when the envelope was committed?"  Core refactors (fused
+loops, batching, accelerated kernels) are required to be bit-identical,
+but *model* changes — a latency tweak, a predictor fix, an energy-card
+update — legitimately move results.  The envelopes in
+``benchmarks/accuracy/`` pin expected IPC/CPI, tile power, per-component
+power shares, and the per-interval IPC profile for every workload ×
+preset, each with an explicit tolerance band; ``repro-cli accuracy``
+renders the MAPE table and ``scripts/accuracy_gate.py`` turns any
+out-of-band metric into a CI failure.
+
+Because the simulator is deterministic, a clean tree evaluates to zero
+error — the tolerance bands exist to separate "intentional model change,
+regenerate the envelopes and review the diff" from "accidental drift"
+rather than to absorb noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "ENVELOPE_FORMAT",
+    "DEFAULT_TOLERANCES",
+    "AccuracyEvaluation",
+    "MetricCheck",
+    "build_envelope",
+    "envelope_path",
+    "evaluate_accuracy",
+    "format_accuracy",
+    "load_envelopes",
+    "write_envelope",
+]
+
+ENVELOPE_FORMAT = 1
+
+#: default tolerance bands; ``*_rel`` are relative errors, shares are
+#: compared in absolute percentage points of tile power
+DEFAULT_TOLERANCES = {
+    "ipc": 0.02,              # relative
+    "tile_mw": 0.05,          # relative
+    "component_share": 0.02,  # absolute (fraction of tile)
+    "interval_ipc": 0.05,     # relative, per SimPoint interval
+}
+
+
+# ----------------------------------------------------------------------
+# envelope construction and IO
+# ----------------------------------------------------------------------
+
+def _preset_entry(result) -> dict:
+    """Golden numbers for one :class:`ExperimentResult`."""
+    ipc = result.ipc
+    tile = result.tile_mw
+    components = sorted(result.runs[0].report.components) \
+        if result.runs else []
+    return {
+        "ipc": ipc,
+        "cpi": 1.0 / ipc if ipc else 0.0,
+        "tile_mw": tile,
+        "component_share": {
+            name: (result.component_mw(name) / tile if tile else 0.0)
+            for name in components},
+        "interval_ipc": [[run.interval_index, run.ipc]
+                         for run in sorted(result.runs,
+                                           key=lambda r: r.interval_index)],
+    }
+
+
+def build_envelope(workload: str, results: Mapping[str, object], *,
+                   scale: float, seed: int | None = None,
+                   tolerances: Mapping[str, float] | None = None) -> dict:
+    """Envelope document for one workload across its preset results.
+
+    ``results`` maps preset name to the workload's
+    :class:`~repro.flow.results.ExperimentResult` under that preset.
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    return {
+        "format": ENVELOPE_FORMAT,
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "tolerances": tol,
+        "presets": {name: _preset_entry(result)
+                    for name, result in sorted(results.items())},
+    }
+
+
+def envelope_path(directory: Path | str, workload: str) -> Path:
+    return Path(directory) / f"{workload}.json"
+
+
+def write_envelope(directory: Path | str, envelope: dict) -> Path:
+    """Write one envelope document (canonical form, trailing newline)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = envelope_path(directory, envelope["workload"])
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n")
+    return path
+
+
+def load_envelopes(directory: Path | str) -> dict[str, dict]:
+    """All committed envelopes keyed by workload, format-checked."""
+    envelopes: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        document = json.loads(path.read_text())
+        if document.get("format") != ENVELOPE_FORMAT:
+            raise ValueError(
+                f"{path}: envelope format {document.get('format')!r} "
+                f"(expected {ENVELOPE_FORMAT}) — regenerate with "
+                f"scripts/accuracy_gate.py --update")
+        envelopes[document["workload"]] = document
+    return envelopes
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+
+@dataclass
+class MetricCheck:
+    """One metric compared against its envelope band."""
+
+    workload: str
+    config: str
+    metric: str          # "ipc" | "tile_mw" | "share:<name>" | "interval:<i>"
+    expected: float
+    actual: float
+    error: float         # relative, or absolute for shares
+    tolerance: float
+    relative: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.error <= self.tolerance
+
+    def describe(self) -> str:
+        unit = "" if self.relative else " (abs)"
+        return (f"{self.workload}/{self.config} {self.metric}: "
+                f"expected {self.expected:.6g}, got {self.actual:.6g} "
+                f"— error {self.error * 100.0:.3f}%{unit} vs band "
+                f"{self.tolerance * 100.0:.2f}%")
+
+
+def _relative_error(expected: float, actual: float) -> float:
+    if expected == 0.0:
+        return 0.0 if actual == 0.0 else float("inf")
+    return abs(actual - expected) / abs(expected)
+
+
+@dataclass
+class AccuracyEvaluation:
+    """All metric checks for a sweep, plus coverage bookkeeping."""
+
+    checks: list[MetricCheck] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)   # no envelope/result
+
+    @property
+    def violations(self) -> list[MetricCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.missing
+
+    def mape(self, prefix: str) -> float:
+        """Mean absolute percentage error over metrics named *prefix*."""
+        errors = [check.error for check in self.checks
+                  if check.metric == prefix
+                  or check.metric.startswith(prefix + ":")]
+        return sum(errors) / len(errors) * 100.0 if errors else 0.0
+
+    def worst(self, count: int = 5) -> list[MetricCheck]:
+        """The *count* largest errors relative to their bands."""
+        scored = sorted(self.checks,
+                        key=lambda check: (check.error / check.tolerance
+                                           if check.tolerance else 0.0),
+                        reverse=True)
+        return scored[:count]
+
+
+def evaluate_accuracy(results: Mapping[tuple, object],
+                      envelopes: Mapping[str, dict]) -> AccuracyEvaluation:
+    """Compare sweep results against committed envelopes.
+
+    ``results`` is the ``{(workload, config_name): ExperimentResult}``
+    mapping that :meth:`repro.flow.sweep.SweepRunner.run_all` returns.
+    Every envelope entry must be matched by a result and vice versa —
+    a missing pairing is recorded (and fails the gate) rather than
+    silently shrinking coverage.
+    """
+    evaluation = AccuracyEvaluation()
+    seen: set[tuple[str, str]] = set()
+    for (workload, config), result in sorted(results.items()):
+        envelope = envelopes.get(workload)
+        if envelope is None:
+            evaluation.missing.append(
+                f"no envelope for workload {workload!r}")
+            continue
+        entry = envelope.get("presets", {}).get(config)
+        if entry is None:
+            evaluation.missing.append(
+                f"no envelope entry for {workload}/{config}")
+            continue
+        seen.add((workload, config))
+        tol = {**DEFAULT_TOLERANCES, **envelope.get("tolerances", {})}
+
+        def check(metric: str, expected: float, actual: float,
+                  band: float, *, relative: bool = True) -> None:
+            error = _relative_error(expected, actual) if relative \
+                else abs(actual - expected)
+            evaluation.checks.append(MetricCheck(
+                workload=workload, config=config, metric=metric,
+                expected=expected, actual=actual, error=error,
+                tolerance=band, relative=relative))
+
+        check("ipc", entry["ipc"], result.ipc, tol["ipc"])
+        check("tile_mw", entry["tile_mw"], result.tile_mw, tol["tile_mw"])
+        tile = result.tile_mw
+        for name, expected in sorted(entry["component_share"].items()):
+            try:
+                actual = result.component_mw(name) / tile if tile else 0.0
+            except KeyError:
+                actual = 0.0
+            check(f"share:{name}", expected, actual,
+                  tol["component_share"], relative=False)
+        actual_by_interval = {run.interval_index: run.ipc
+                              for run in result.runs}
+        for interval, expected in entry["interval_ipc"]:
+            actual = actual_by_interval.get(interval)
+            if actual is None:
+                evaluation.missing.append(
+                    f"{workload}/{config}: interval {interval} in the "
+                    f"envelope but absent from the sweep")
+                continue
+            check(f"interval:{interval}", expected, actual,
+                  tol["interval_ipc"])
+    for workload, envelope in sorted(envelopes.items()):
+        for config in sorted(envelope.get("presets", {})):
+            if (workload, config) not in seen:
+                evaluation.missing.append(
+                    f"envelope {workload}/{config} has no sweep result")
+    return evaluation
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def _error_cell(evaluation_checks: Iterable[MetricCheck]) -> str:
+    checks = list(evaluation_checks)
+    if not checks:
+        return "     -"
+    worst = max(checks, key=lambda check: check.error)
+    flag = "" if all(check.ok for check in checks) else "!"
+    return f"{worst.error * 100.0:5.2f}{flag or ' '}"
+
+
+def format_accuracy(evaluation: AccuracyEvaluation, *,
+                    worst: int = 5) -> str:
+    """The MAPE error table plus worst-offender attribution.
+
+    Error cells are the worst error in that metric family (percent;
+    percentage points for shares), flagged ``!`` when out of band.
+    """
+    by_pair: dict[tuple[str, str], list[MetricCheck]] = {}
+    for check in evaluation.checks:
+        by_pair.setdefault((check.workload, check.config), []).append(check)
+    lines = ["workload        config       ipc%  tile%  share  intvl%  status",
+             "-" * 66]
+    for (workload, config), checks in sorted(by_pair.items()):
+        groups: dict[str, list[MetricCheck]] = {}
+        for check in checks:
+            groups.setdefault(check.metric.split(":")[0], []).append(check)
+        status = "ok" if all(check.ok for check in checks) else "DRIFT"
+        lines.append(
+            f"{workload:<15} {config:<12}"
+            f"{_error_cell(groups.get('ipc', []))} "
+            f"{_error_cell(groups.get('tile_mw', []))} "
+            f"{_error_cell(groups.get('share', []))} "
+            f"{_error_cell(groups.get('interval', []))}  {status}")
+    lines.append("")
+    lines.append(f"MAPE: ipc {evaluation.mape('ipc'):.3f}%  "
+                 f"tile {evaluation.mape('tile_mw'):.3f}%  "
+                 f"share {evaluation.mape('share'):.3f}pp  "
+                 f"interval {evaluation.mape('interval'):.3f}%")
+    offenders = [check for check in evaluation.worst(worst)
+                 if check.error > 0.0]
+    if offenders:
+        lines.append("")
+        lines.append("worst offenders:")
+        for check in offenders:
+            lines.append(f"  {check.describe()}")
+    if evaluation.missing:
+        lines.append("")
+        lines.append("coverage gaps:")
+        for gap in evaluation.missing:
+            lines.append(f"  {gap}")
+    lines.append("")
+    lines.append("verdict: " + ("PASS" if evaluation.ok else "FAIL"))
+    return "\n".join(lines)

@@ -461,6 +461,65 @@ def find_previous_snapshot(root: Path) -> Path | None:
     return candidates[-1] if candidates else None
 
 
+def load_snapshots(root: Path) -> list[tuple[str, dict]]:
+    """All readable ``BENCH_*.json`` under ``root``, oldest first."""
+    snapshots: list[tuple[str, dict]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            snapshots.append((path.name, json.loads(path.read_text())))
+        except ValueError:
+            print(f"warning: unreadable snapshot {path}", file=sys.stderr)
+    return snapshots
+
+
+def format_trend(snapshots: list[tuple[str, dict]], *,
+                 metrics: list[str] | None = None) -> str:
+    """Per-metric trajectory across committed snapshots.
+
+    One row per metric, one column per snapshot: the calibration-
+    normalized ratio vs the *previous* snapshot (so ``1.00`` is flat,
+    ``2.00`` means that PR doubled the metric), with the latest raw
+    value at the end of the row.  Metrics default to the gated
+    throughput set — the history that used to require grepping every
+    ``BENCH_*.json`` by hand.
+    """
+    if len(snapshots) < 2:
+        return "(need at least two BENCH_*.json snapshots for a trend)"
+    if metrics is None:
+        names = sorted({
+            metric
+            for _, snapshot in snapshots
+            for metric in snapshot.get("metrics", {})
+            if metric.startswith(THROUGHPUT_PREFIXES)
+            and not metric.startswith(UNGATED_PREFIXES)})
+    else:
+        names = list(metrics)
+    dates = [name.removeprefix("BENCH_").removesuffix(".json")
+             for name, _ in snapshots]
+    width = max(len(d) for d in dates[1:])
+    header = f"{'metric':<42}" + "".join(
+        f" {d:>{width}}" for d in dates[1:]) + f" {'latest':>14}"
+    lines = [header, "-" * len(header)]
+    for metric in names:
+        cells = []
+        for (_, previous), (_, current) in zip(snapshots, snapshots[1:]):
+            now = normalized(current, metric)
+            before = normalized(previous, metric)
+            if now is None or before is None:
+                now = current.get("metrics", {}).get(metric)
+                before = previous.get("metrics", {}).get(metric)
+            if now is None or not before:
+                cells.append(f"{'-':>{width}}")
+            else:
+                cells.append(f"{now / before:>{width}.2f}")
+        latest = snapshots[-1][1].get("metrics", {}).get(metric)
+        latest_cell = f"{latest:>14,.1f}" if latest is not None \
+            else f"{'-':>14}"
+        lines.append(f"{metric:<42}" + "".join(f" {c}" for c in cells)
+                     + f" {latest_cell}")
+    return "\n".join(lines)
+
+
 def format_snapshot(snapshot: dict, comparison: dict | None = None) -> str:
     lines = [f"benchmark snapshot {snapshot['date']} "
              f"(quick={snapshot.get('quick', False)})"]
@@ -498,7 +557,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional regression (default 0.30)")
     parser.add_argument("--no-write", action="store_true",
                         help="measure and compare without writing a file")
+    parser.add_argument("--trend", action="store_true",
+                        help="print the per-metric trajectory across all "
+                             "committed BENCH_*.json and exit (no "
+                             "measurement)")
+    parser.add_argument("--trend-dir", default=None,
+                        help="directory holding BENCH_*.json snapshots "
+                             "(default: benchmarks/ when it has any, else "
+                             "the current directory)")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="restrict --trend to this metric (repeatable)")
     args = parser.parse_args(argv)
+
+    if args.trend:
+        if args.trend_dir:
+            root = Path(args.trend_dir)
+        else:
+            root = Path("benchmarks")
+            if not any(root.glob("BENCH_*.json")):
+                root = Path.cwd()
+        print(format_trend(load_snapshots(root), metrics=args.metric))
+        return 0
 
     snapshot = run_bench(quick=args.quick)
 

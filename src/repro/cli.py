@@ -15,6 +15,11 @@ Usage (``python -m repro.cli`` or the ``repro-cli`` entry point)::
     repro-cli cache invalidate --stage detailed_sim
     repro-cli recover --verify
     repro-cli bench --quick
+    repro-cli bench --trend
+    repro-cli --flight sweep
+    repro-cli flight
+    repro-cli accuracy
+    repro-cli accuracy --update
 """
 
 from __future__ import annotations
@@ -254,7 +259,131 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(metrics_path.read_text().rstrip())
         else:
             print("\n(no metrics snapshot recorded)")
+    if args.prom:
+        from repro.obs.metrics import snapshot_to_prometheus
+
+        metrics_path = run_dir / METRICS_NAME
+        if not metrics_path.exists():
+            print("no metrics snapshot recorded for this run; nothing "
+                  "to export", file=sys.stderr)
+            return 2
+        text = snapshot_to_prometheus(json.loads(metrics_path.read_text()))
+        Path(args.prom).write_text(text)
+        print(f"wrote Prometheus textfile {args.prom}", file=sys.stderr)
     return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.flight import write_merged_flight
+    from repro.obs.render import flight_to_chrome, format_flight
+    from repro.obs.session import resolve_run_dir
+
+    run_dir = resolve_run_dir(args.cache_dir, args.run)
+    if run_dir is None:
+        wanted = args.run or "latest"
+        print(f"no obs run found ({wanted}); record one with "
+              f"`repro-cli --flight sweep` or REPRO_FLIGHT=1",
+              file=sys.stderr)
+        return 2
+    flight_path = run_dir / "flight.json"
+    if not flight_path.exists():
+        # interrupted run: merge whatever per-process files survived
+        try:
+            merged = write_merged_flight(run_dir)
+        except OSError as exc:
+            print(f"cannot merge flight data in {run_dir}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if merged is None:
+            print(f"no flight samples in {run_dir}; record a run with "
+                  f"`repro-cli --flight sweep` or REPRO_FLIGHT=1",
+                  file=sys.stderr)
+            return 2
+    flight = json.loads(flight_path.read_text())
+    if args.format == "chrome":
+        text = json.dumps(flight_to_chrome(flight),
+                          separators=(",", ":"))
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output} (open in Perfetto / "
+                  f"chrome://tracing)")
+        else:
+            print(text)
+        return 0
+    print(format_flight(flight, width=args.width))
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.accuracy import (
+        build_envelope,
+        evaluate_accuracy,
+        format_accuracy,
+        load_envelopes,
+        write_envelope,
+    )
+
+    directory = Path(args.envelopes)
+    envelopes: dict[str, dict] = {}
+    if args.update:
+        scale, seed = args.scale, args.seed
+    else:
+        try:
+            envelopes = load_envelopes(directory)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.workloads:
+            wanted = set(args.workloads)
+            envelopes = {workload: envelope
+                         for workload, envelope in envelopes.items()
+                         if workload in wanted}
+        if not envelopes:
+            print(f"no accuracy envelopes under {directory}; create "
+                  f"them with `repro-cli accuracy --update`",
+                  file=sys.stderr)
+            return 2
+        # The envelopes pin the operating point: re-measure at exactly
+        # the scale/seed they were built at, whatever --scale says.
+        scales = {envelope["scale"] for envelope in envelopes.values()}
+        if len(scales) != 1:
+            print(f"envelopes disagree on scale ({sorted(scales)}); "
+                  f"regenerate them together", file=sys.stderr)
+            return 2
+        scale = scales.pop()
+        seeds = {envelope.get("seed") for envelope in envelopes.values()}
+        seed = seeds.pop() if len(seeds) == 1 and None not in seeds \
+            else args.seed
+    settings = FlowSettings(scale=scale, seed=seed,
+                            batch=bool(getattr(args, "batch", False)))
+    cache = None if args.no_cache else args.cache_dir
+    runner = SweepRunner(settings, cache_dir=cache)
+    # The committed envelopes define the coverage: sweep exactly their
+    # workloads unless the user restricted further (or is regenerating).
+    workloads = args.workloads
+    if workloads is None and envelopes:
+        workloads = sorted(envelopes)
+    results = runner.run_all(workloads=workloads, jobs=args.jobs,
+                             trace=args.trace)
+    if args.update:
+        by_workload: dict[str, dict] = {}
+        for (workload, config), result in results.items():
+            by_workload.setdefault(workload, {})[config] = result
+        for workload in sorted(by_workload):
+            path = write_envelope(directory, build_envelope(
+                workload, by_workload[workload], scale=scale, seed=seed))
+            print(f"wrote {path}")
+        print(f"{len(by_workload)} envelope(s) regenerated — review the "
+              f"diff before committing")
+        return 0
+    evaluation = evaluate_accuracy(results, envelopes)
+    print(format_accuracy(evaluation))
+    return 0 if evaluation.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -527,6 +656,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--no-write")
     if args.threshold is not None:
         argv += ["--threshold", str(args.threshold)]
+    if args.trend:
+        argv.append("--trend")
+    if args.trend_dir:
+        argv += ["--trend-dir", args.trend_dir]
+    for metric in args.metric or ():
+        argv += ["--metric", metric]
     return bench_main(argv)
 
 
@@ -552,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a structured trace of the run under "
                              "<cache>/obs/ (also via REPRO_TRACE=1); "
                              "render it with `repro-cli trace`")
+    parser.add_argument("--flight", action="store_true",
+                        help="record per-interval microarchitectural "
+                             "telemetry during detailed simulation (also "
+                             "via REPRO_FLIGHT=1; implies --trace); "
+                             "render it with `repro-cli flight`")
     parser.add_argument("--check", dest="runtime_checks",
                         action="store_true",
                         help="assert core invariants while simulating "
@@ -653,7 +793,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--metrics", action="store_true",
         help="also print the run's metrics snapshot")
+    trace_parser.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="export the run's metrics snapshot as a Prometheus "
+             "textfile (node-exporter textfile collector format)")
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    flight_parser = commands.add_parser(
+        "flight", help="render a run's flight-recorder telemetry "
+                       "(per-interval IPC/occupancy/power timelines)")
+    flight_parser.add_argument(
+        "run", nargs="?", default=None,
+        help="run id under <cache>/obs/, a run directory path, or "
+             "'latest' (default)")
+    flight_parser.add_argument(
+        "--format", "-f", default="timeline",
+        choices=("timeline", "chrome"),
+        help="timeline = sparkline tables; chrome = Chrome trace-event "
+             "counter tracks (Perfetto)")
+    flight_parser.add_argument(
+        "--output", "-o", default=None,
+        help="write chrome JSON here instead of stdout")
+    flight_parser.add_argument(
+        "--width", type=int, default=60,
+        help="sparkline width in characters (default 60)")
+    flight_parser.set_defaults(handler=_cmd_flight)
+
+    accuracy_parser = commands.add_parser(
+        "accuracy", help="compare a sweep against the committed golden "
+                         "accuracy envelopes (MAPE table + drift gate)")
+    accuracy_parser.add_argument(
+        "--envelopes", default="benchmarks/accuracy", metavar="DIR",
+        help="envelope directory (default benchmarks/accuracy)")
+    accuracy_parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="WORKLOAD",
+        help="restrict to these workloads (default: every envelope)")
+    accuracy_parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the envelopes from the current model at "
+             "--scale/--seed instead of evaluating against them")
+    accuracy_parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        help="use the batched multi-config engine for the sweep")
+    accuracy_parser.set_defaults(handler=_cmd_accuracy)
 
     cache_parser = commands.add_parser(
         "cache", help="inspect or prune the stage artifact cache")
@@ -794,6 +976,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--threshold", type=float, default=None,
                               help="allowed fractional regression "
                                    "(default 0.30)")
+    bench_parser.add_argument("--trend", action="store_true",
+                              help="print the per-metric trajectory "
+                                   "across committed BENCH_*.json and "
+                                   "exit (no measurement)")
+    bench_parser.add_argument("--trend-dir", default=None, metavar="DIR",
+                              help="directory holding the snapshots "
+                                   "(default: auto-detect)")
+    bench_parser.add_argument("--metric", action="append", default=None,
+                              help="restrict --trend to this metric "
+                                   "(repeatable)")
     bench_parser.set_defaults(handler=_cmd_bench)
 
     check_parser = commands.add_parser(
@@ -816,6 +1008,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check import set_checks_enabled
 
         set_checks_enabled(True)
+    if args.flight:
+        # The env var is the worker handoff (pool workers inherit it),
+        # and an obs session must exist for the recorder to have a
+        # directory — so --flight implies --trace.
+        import os
+
+        from repro.obs.flight import FLIGHT_ENV
+
+        os.environ[FLIGHT_ENV] = "1"
+        args.trace = True
     return args.handler(args)
 
 

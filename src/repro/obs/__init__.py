@@ -16,6 +16,13 @@ disabled) and strictly read-only with respect to results: observability
 never enters cache keys, fingerprints, or artifacts.
 """
 
+from .flight import (
+    FLIGHT_ENV,
+    FlightRecorder,
+    flight_requested,
+    read_flight_file,
+    write_merged_flight,
+)
 from .heartbeat import HeartbeatEmitter, wrap_control_hook
 from .logs import (
     WorkerLogMerger,
@@ -31,14 +38,18 @@ from .metrics import (
     MetricsRegistry,
     get_metrics,
     reset_metrics,
+    snapshot_to_prometheus,
 )
 from .progress import ProgressMonitor
 from .render import (
     build_spans,
     chrome_json,
     critical_path,
+    flight_to_chrome,
+    format_flight,
     format_summary,
     format_tree,
+    sparkline,
     stage_totals,
     to_chrome,
     worker_utilization,
@@ -62,6 +73,8 @@ from .tracer import (
 
 __all__ = [
     "Counter",
+    "FLIGHT_ENV",
+    "FlightRecorder",
     "Gauge",
     "HEARTBEAT_ENV",
     "HeartbeatEmitter",
@@ -82,6 +95,9 @@ __all__ = [
     "configure_tracer",
     "critical_path",
     "ensure_process_tracer",
+    "flight_requested",
+    "flight_to_chrome",
+    "format_flight",
     "format_summary",
     "format_tree",
     "get_logger",
@@ -91,15 +107,19 @@ __all__ = [
     "latest_run_dir",
     "merge_event_files",
     "read_event_file",
+    "read_flight_file",
     "reset_metrics",
     "reset_tracer",
     "resolve_run_dir",
     "setup_cli_logging",
     "setup_worker_logging",
+    "snapshot_to_prometheus",
+    "sparkline",
     "stage_totals",
     "to_chrome",
     "tracing_requested",
     "worker_utilization",
     "wrap_control_hook",
+    "write_merged_flight",
     "write_merged_trace",
 ]

@@ -1,0 +1,355 @@
+"""The flight recorder: per-interval microarchitectural telemetry.
+
+Aggregate IPC and power numbers can drift silently while every tier-1
+test stays green; the flight recorder turns one detailed-simulation
+window into a *timeline* so drift is attributable.  A
+:class:`FlightRecorder` rides the heartbeat observer slot of
+``BoomCore.run`` (chaining any tracing emitter or invariant checker, the
+same composition :class:`repro.check.invariants.CoreInvariantChecker`
+uses): every ``_HEARTBEAT_STRIDE`` cycles it diffs the core's stats tree
+against the previous sample and emits one strict-JSON line holding the
+interval's IPC, per-structure occupancy averages, stall/CPI-stack
+taxonomy, branch/cache miss rates, and per-component power shares.
+
+Recording is opt-in (``REPRO_FLIGHT=1`` or ``repro-cli --flight``) and
+observation-only: the recorder reads counters that the run loop settles
+for *any* heartbeat observer, folds nothing back, and writes outside the
+artifact store — so detailed-simulation artifacts are byte-identical
+with recording on or off (gated by ``tests/obs/test_flight.py`` and
+``tests/sim/test_equivalence.py``).  Samples land in
+``flight-<pid>.jsonl`` under the active obs run directory and are merged
+into ``flight.json`` beside ``trace.json``; ``repro-cli flight`` renders
+them as sparkline timelines or Chrome counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, IO
+
+from .tracer import OBS_DIR_ENV
+
+__all__ = [
+    "FLIGHT_ENV",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "flight_requested",
+    "read_flight_file",
+    "write_merged_flight",
+]
+
+#: user-facing switch: ``REPRO_FLIGHT=1`` arms the recorder (the CLI
+#: ``--flight`` flag exports it so pool workers inherit the setting)
+FLIGHT_ENV = "REPRO_FLIGHT"
+
+FLIGHT_SCHEMA = 1
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def flight_requested(environ: dict | None = None) -> bool:
+    """Whether ``REPRO_FLIGHT`` asks for flight recording."""
+    environ = os.environ if environ is None else environ
+    return str(environ.get(FLIGHT_ENV, "")).strip().lower() in _TRUTHY
+
+
+def _numeric_delta(current: Any, baseline: Any) -> Any:
+    """Pointwise ``current - baseline`` over a stats ``to_dict`` tree.
+
+    Ints/floats subtract, dicts recurse per key (a key absent from the
+    baseline contributes its full current value — new
+    ``retired_by_class`` / ``dispatch_by_trace`` entries), lists diff
+    pointwise when shapes match.  Non-numeric leaves pass through.
+    """
+    if isinstance(current, dict):
+        base = baseline if isinstance(baseline, dict) else {}
+        return {key: _numeric_delta(value, base.get(key))
+                for key, value in current.items()}
+    if isinstance(current, list):
+        if isinstance(baseline, list) and len(baseline) == len(current):
+            return [_numeric_delta(value, base)
+                    for value, base in zip(current, baseline)]
+        return list(current)
+    if isinstance(current, (int, float)) and not isinstance(current, bool):
+        if isinstance(baseline, (int, float)) \
+                and not isinstance(baseline, bool):
+            return current - baseline
+        return current
+    return current
+
+
+class FlightRecorder:
+    """Heartbeat observer sampling one core's telemetry timeline.
+
+    Chain it in the heartbeat slot like the invariant checker::
+
+        recorder = FlightRecorder.for_session(core, workload="sha",
+                                              checkpoint=0,
+                                              wrapped=heartbeat)
+        if recorder is not None:
+            heartbeat = recorder
+        core.run(budget, heartbeat=heartbeat)
+        recorder.finish()
+
+    Each sample covers the window since the previous one (the stats
+    *delta*, so a warmup→measure stats swap resets the baseline
+    automatically via the stats object's identity).  ``phase`` tags
+    samples ``warmup``/``measure``; :meth:`set_phase` closes the old
+    phase with a boundary sample so phase totals reconstruct exactly.
+    """
+
+    def __init__(self, core, *, workload: str = "?",
+                 checkpoint: int | None = None,
+                 path: Path | str | None = None,
+                 sink: list | None = None,
+                 wrapped=None, phase: str = "warmup") -> None:
+        # Deferred imports: obs is imported by the pipeline layer at
+        # startup, while these pull in the uarch/power/analysis stack —
+        # recorder construction happens at simulation time, never at
+        # package import.
+        from repro.analysis.cpi_stack import cpi_stack
+        from repro.power.model import PowerModel
+        from repro.uarch.stats import CoreStats
+
+        self.core = core
+        self.workload = workload
+        self.checkpoint = checkpoint
+        self.wrapped = wrapped
+        self.phase = phase
+        self.samples = 0
+        self.pid = os.getpid()
+        self._cpi_stack = cpi_stack
+        self._from_dict = CoreStats.from_dict
+        self._power = PowerModel(core.config)
+        self._baseline: dict | None = None
+        self._baseline_id: int | None = None
+        self._finished = False
+        self._sink = sink
+        self._file: IO[str] | None = None
+        if path is not None:
+            try:
+                # line-buffered append, one write per sample: a crash
+                # tears at most the final line, which readers skip
+                self._file = open(path, "a", buffering=1)
+            except OSError:
+                self._file = None
+
+    # ------------------------------------------------------------------
+    # construction from the observability environment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_session(cls, core, *, workload: str,
+                    checkpoint: int | None = None, wrapped=None,
+                    environ: dict | None = None) -> "FlightRecorder | None":
+        """Recorder writing into the active obs run dir, or ``None``.
+
+        Requires both ``REPRO_FLIGHT`` and an exported obs run directory
+        (``REPRO_OBS_DIR``, i.e. an active :class:`TraceSession`) — the
+        same parent→worker handoff the tracer uses, so pool workers of a
+        ``--flight`` sweep record into the same run directory.
+        """
+        environ = os.environ if environ is None else environ
+        if not flight_requested(environ):
+            return None
+        run_dir = environ.get(OBS_DIR_ENV)
+        if not run_dir:
+            return None
+        path = Path(run_dir) / f"flight-{os.getpid()}.jsonl"
+        return cls(core, workload=workload, checkpoint=checkpoint,
+                   path=path, wrapped=wrapped)
+
+    # ------------------------------------------------------------------
+    # heartbeat protocol
+    # ------------------------------------------------------------------
+
+    def __call__(self, retired: int, cycles: int) -> None:
+        self._sample(final=False)
+        if self.wrapped is not None:
+            self.wrapped(retired, cycles)
+
+    def set_phase(self, phase: str) -> None:
+        """Close the current phase with a boundary sample and switch."""
+        if phase == self.phase:
+            return
+        self._sample(final=False)
+        self.phase = phase
+
+    def finish(self) -> None:
+        """Emit the terminal sample (exactly once) and release the file."""
+        if self._finished:
+            return
+        self._finished = True
+        self._sample(final=True)
+        file = self._file
+        self._file = None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _sample(self, *, final: bool) -> None:
+        core = self.core
+        # Fold the issue queues' batched occupancy histograms into the
+        # stats counters mid-run (additive and clearing, so the exit
+        # fold stays correct and the hot loop's histogram references
+        # stay valid) — observers must see settled occupancy.
+        core.iq_int.flush_samples()
+        core.iq_mem.flush_samples()
+        core.iq_fp.flush_samples()
+        stats = core.stats
+        current = stats.to_dict()
+        if self._baseline_id == id(stats):
+            delta = _numeric_delta(current, self._baseline)
+        else:
+            # begin_measurement() swapped in a fresh stats window; its
+            # counters already start at zero, so the dict is the delta.
+            delta = current
+        self._baseline = current
+        self._baseline_id = id(stats)
+        cycles = delta.get("cycles", 0)
+        if cycles <= 0 and not final:
+            return  # empty interval (phase boundary with no progress)
+        self._emit(self._record(delta, cycles, final))
+
+    def _record(self, delta: dict, cycles: int, final: bool) -> dict:
+        core = self.core
+        retired = delta.get("retired", 0)
+        record: dict[str, Any] = {
+            "type": "flight",
+            "schema": FLIGHT_SCHEMA,
+            "pid": self.pid,
+            "workload": self.workload,
+            "config": core.config.name,
+            "checkpoint": self.checkpoint,
+            "phase": self.phase,
+            "seq": self.samples,
+            "cycle": core.cycle,
+            "cycles": cycles,
+            "retired": retired,
+            "ipc": retired / cycles if cycles else 0.0,
+            "final": final,
+        }
+        if cycles > 0:
+            frontend = delta["frontend"]
+            iq_occupancy = (delta["int_iq"]["occupancy"]
+                            + delta["mem_iq"]["occupancy"]
+                            + delta["fp_iq"]["occupancy"])
+            record["occupancy"] = {
+                "rob": delta["rob"]["occupancy"] / cycles,
+                "iq": iq_occupancy / cycles,
+                "ldq": delta["lsu"]["ldq_occupancy"] / cycles,
+                "stq": delta["lsu"]["stq_occupancy"] / cycles,
+                "fetch_buffer":
+                    frontend["fetch_buffer_occupancy"] / cycles,
+            }
+            record["rates"] = {
+                "fetch_stall_frac":
+                    frontend["fetch_stall_cycles"] / cycles,
+                "branch_mpki":
+                    (delta["predictor"]["mispredicts"] * 1000.0 / retired
+                     if retired else 0.0),
+                "icache_mpki":
+                    (frontend["icache_misses"] * 1000.0 / retired
+                     if retired else 0.0),
+                "dcache_mpki":
+                    (delta["dcache"]["misses"] * 1000.0 / retired
+                     if retired else 0.0),
+            }
+        if cycles > 0 and retired > 0:
+            delta_stats = self._from_dict(delta)
+            record["cpi_stack"] = self._cpi_stack(delta_stats, core.config)
+            report = self._power.report(delta_stats, self.workload)
+            tile = report.tile_mw
+            record["power"] = {
+                "tile_mw": tile,
+                "shares": {name: (component.total_mw / tile if tile
+                                  else 0.0)
+                           for name, component
+                           in sorted(report.components.items())},
+            }
+        self.samples += 1
+        return record
+
+    def _emit(self, record: dict) -> None:
+        if self._sink is not None:
+            self._sink.append(record)
+            return
+        file = self._file
+        if file is None:
+            return
+        try:
+            line = json.dumps(record, sort_keys=True,
+                              separators=(",", ":"), allow_nan=False)
+            file.write(line + "\n")
+        except (OSError, ValueError):
+            pass  # observability must never fail the run
+
+
+# ----------------------------------------------------------------------
+# consumers: torn-tolerant reading and per-run merge
+# ----------------------------------------------------------------------
+
+def read_flight_file(path: Path | str) -> tuple[list[dict], int]:
+    """Parse one ``flight-<pid>.jsonl``; ``(samples, skipped_lines)``.
+
+    Torn tails from crashed workers (the writer is line-buffered, so at
+    most the final line can be partial) are counted and skipped.
+    """
+    samples: list[dict] = []
+    skipped = 0
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return samples, 1
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            skipped += 1
+            continue
+        if isinstance(record, dict) and record.get("type") == "flight":
+            samples.append(record)
+        else:
+            skipped += 1
+    return samples, skipped
+
+
+def write_merged_flight(run_dir: Path | str,
+                        pattern: str = "flight-*.jsonl") -> Path | None:
+    """Merge per-process flight files into ``<run_dir>/flight.json``.
+
+    Returns the merged path, or ``None`` when the run recorded no
+    flight samples.  Sample order is canonical — (workload, config,
+    checkpoint, pid, seq) — so merged documents from the same run are
+    byte-identical regardless of worker scheduling.
+    """
+    run_dir = Path(run_dir)
+    samples: list[dict] = []
+    skipped = 0
+    for path in sorted(run_dir.glob(pattern)):
+        found, bad = read_flight_file(path)
+        samples.extend(found)
+        skipped += bad
+    if not samples and not skipped:
+        return None
+    samples.sort(key=lambda s: (str(s.get("workload", "")),
+                                str(s.get("config", "")),
+                                s.get("checkpoint") or 0,
+                                s.get("pid", 0), s.get("seq", 0)))
+    out = run_dir / "flight.json"
+    out.write_text(json.dumps(
+        {"schema": FLIGHT_SCHEMA, "samples": samples,
+         "skipped_lines": skipped},
+        indent=2, sort_keys=True) + "\n")
+    return out

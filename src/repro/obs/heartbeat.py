@@ -31,7 +31,8 @@ class HeartbeatEmitter:
     """
 
     __slots__ = ("tracer", "name", "units", "attrs", "interval",
-                 "_clock", "_last_time", "_last_value", "total")
+                 "_clock", "_last_time", "_last_value", "_finished",
+                 "total")
 
     def __init__(self, tracer: Tracer | NullTracer, name: str, *,
                  units: str = "instructions",
@@ -48,9 +49,14 @@ class HeartbeatEmitter:
         self._clock = clock
         self._last_time = clock()
         self._last_value = 0
+        self._finished = False
 
     def __call__(self, value: int, **extra: Any) -> None:
         """Record progress; emits at most one event per interval."""
+        if self._finished:
+            # A sample arriving after finish() would put a non-final
+            # event behind the terminal one on the stream; drop it.
+            return
         now = self._clock()
         elapsed = now - self._last_time
         if elapsed < self.interval:
@@ -66,10 +72,23 @@ class HeartbeatEmitter:
         self.tracer.heartbeat(self.name, **attrs)
 
     def finish(self, value: int, **extra: Any) -> None:
-        """Emit a final sample regardless of the rate limit."""
+        """Emit the terminal sample exactly once, rate limit or not.
+
+        The final value must always reach the stream even when it lands
+        inside the rate-limit window of the previous sample, and it must
+        reach it only once: repeated ``finish()`` calls (retry paths,
+        ``finally`` blocks stacked on explicit finishes) are no-ops, and
+        any straggling ``__call__`` afterwards is dropped so consumers
+        can treat ``final: True`` as end-of-stream.
+        """
+        if self._finished:
+            return
+        self._finished = True
         now = self._clock()
         elapsed = now - self._last_time
         rate = ((value - self._last_value) / elapsed) if elapsed > 0 else 0.0
+        self._last_time = now
+        self._last_value = value
         attrs = {"units": self.units, "value": value, "rate": rate,
                  "final": True}
         if self.total:

@@ -26,8 +26,11 @@ __all__ = [
     "build_spans",
     "chrome_json",
     "critical_path",
+    "flight_to_chrome",
+    "format_flight",
     "format_summary",
     "format_tree",
+    "sparkline",
     "stage_totals",
     "to_chrome",
     "worker_utilization",
@@ -233,3 +236,135 @@ def to_chrome(trace: dict) -> dict:
 def chrome_json(trace: dict) -> str:
     """Serialized :func:`to_chrome` output."""
     return json.dumps(to_chrome(trace), separators=(",", ":"), default=str)
+
+
+# ----------------------------------------------------------------------
+# flight-recorder timelines
+# ----------------------------------------------------------------------
+
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Unicode sparkline of a numeric series, downsampled to *width*.
+
+    A flat series renders at the lowest tick so structure, not absolute
+    level, is what draws the eye; scaling is min..max per call.
+    """
+    values = [float(value) for value in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # bucket-mean downsample keeps spikes visible in long runs
+        step = len(values) / width
+        values = [
+            sum(chunk) / len(chunk)
+            for chunk in (values[int(index * step):
+                                 max(int((index + 1) * step),
+                                     int(index * step) + 1)]
+                          for index in range(width))]
+    low = min(values)
+    span = max(values) - low
+    if span <= 0:
+        return _SPARK_TICKS[0] * len(values)
+    top = len(_SPARK_TICKS) - 1
+    return "".join(_SPARK_TICKS[min(top, int((value - low) / span * top))]
+                   for value in values)
+
+
+def _flight_series(flight: dict) -> dict[tuple, list[dict]]:
+    """Measure-phase samples grouped by (workload, config, checkpoint)."""
+    series: dict[tuple, list[dict]] = {}
+    for sample in flight.get("samples", []):
+        if sample.get("phase") != "measure":
+            continue
+        key = (str(sample.get("workload", "?")),
+               str(sample.get("config", "?")),
+               sample.get("checkpoint"))
+        series.setdefault(key, []).append(sample)
+    for samples in series.values():
+        samples.sort(key=lambda s: (s.get("pid", 0), s.get("seq", 0)))
+    return series
+
+
+def _metric_rows(samples: list[dict]) -> list[tuple[str, list[float]]]:
+    rows: list[tuple[str, list[float]]] = [
+        ("ipc", [s.get("ipc", 0.0) for s in samples]),
+        ("rob_occ", [s.get("occupancy", {}).get("rob", 0.0)
+                     for s in samples]),
+        ("fetch_stall", [s.get("rates", {}).get("fetch_stall_frac", 0.0)
+                         for s in samples]),
+        ("dcache_mpki", [s.get("rates", {}).get("dcache_mpki", 0.0)
+                         for s in samples]),
+        ("tile_mw", [s.get("power", {}).get("tile_mw", 0.0)
+                     for s in samples]),
+    ]
+    return rows
+
+
+def format_flight(flight: dict, *, width: int = 60) -> str:
+    """Sparkline timelines per workload × config × checkpoint.
+
+    One block per measured simulation window; each metric row shows the
+    series shape plus its min/mean/max so a single glance separates
+    "steady-state" from "phase-change inside the window".
+    """
+    series = _flight_series(flight)
+    if not series:
+        return "(no measure-phase flight samples)"
+    blocks: list[str] = []
+    for (workload, config, checkpoint), samples in sorted(
+            series.items(), key=lambda item: (item[0][0], item[0][1],
+                                              item[0][2] or 0)):
+        cycles = sum(s.get("cycles", 0) for s in samples)
+        lines = [f"{workload} × {config} · checkpoint {checkpoint} "
+                 f"({len(samples)} samples, {cycles} cycles)"]
+        for name, values in _metric_rows(samples):
+            if not any(values):
+                continue
+            mean = sum(values) / len(values)
+            lines.append(
+                f"  {name:<12} {sparkline(values, width):<{width}} "
+                f"min={min(values):.3f} mean={mean:.3f} "
+                f"max={max(values):.3f}")
+        blocks.append("\n".join(lines))
+    skipped = flight.get("skipped_lines", 0)
+    if skipped:
+        blocks.append(f"({skipped} unparseable flight line(s) skipped)")
+    return "\n\n".join(blocks)
+
+
+def flight_to_chrome(flight: dict) -> dict:
+    """Chrome counter tracks (``ph: "C"``) from a merged flight document.
+
+    Each simulated window becomes a set of counter series on its own
+    process row, timestamped by simulated cycle (shown as µs), so
+    Perfetto plots IPC/occupancy/power against simulated time alongside
+    the wall-clock span view of :func:`to_chrome`.
+    """
+    chrome: list[dict[str, Any]] = []
+    for index, ((workload, config, checkpoint), samples) in enumerate(
+            sorted(_flight_series(flight).items(),
+                   key=lambda item: (item[0][0], item[0][1],
+                                     item[0][2] or 0))):
+        label = f"{workload}/{config}#{checkpoint}"
+        chrome.append({"ph": "M", "name": "process_name", "pid": index,
+                       "tid": 0, "args": {"name": label}})
+        for sample in samples:
+            base = {"pid": index, "tid": 0,
+                    "ts": float(sample.get("cycle", 0))}
+            chrome.append({**base, "ph": "C", "name": "ipc",
+                           "args": {"ipc": sample.get("ipc", 0.0)}})
+            occupancy = sample.get("occupancy")
+            if occupancy:
+                chrome.append({**base, "ph": "C", "name": "occupancy",
+                               "args": dict(occupancy)})
+            rates = sample.get("rates")
+            if rates:
+                chrome.append({**base, "ph": "C", "name": "rates",
+                               "args": dict(rates)})
+            power = sample.get("power")
+            if power:
+                chrome.append({**base, "ph": "C", "name": "tile_mw",
+                               "args": {"mw": power.get("tile_mw", 0.0)}})
+    return {"traceEvents": chrome, "displayTimeUnit": "ms"}

@@ -39,6 +39,12 @@ Fault kinds:
              numeric leaf to a semantically impossible value (a negative
              power) — exercises the :mod:`repro.check` validators, which
              must catch what JSON decoding alone cannot.
+``bend``     after a write, keep the artifact valid JSON *and*
+             semantically plausible, but scale every ``cycles`` leaf by
+             ~10% (re-deriving sibling ``ipc`` values so cross-field
+             checks hold) — the model-drift simulacrum that passes
+             decoding and validators and can only be caught by the
+             accuracy envelopes (:mod:`repro.analysis.accuracy`).
 ``lock-steal``
              at a ``lease.claim`` site, plant a lease owned by a
              provably dead process before the real claim runs —
@@ -91,7 +97,7 @@ from repro.errors import ReproError
 __all__ = ["FaultSpec", "FaultInjector", "InjectedFailure",
            "parse_fault_spec", "FAULT_KINDS", "FAULTS_ENV", "FAULT_SEED_ENV"]
 
-FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt", "skew",
+FAULT_KINDS = ("crash", "hang", "io", "fail", "corrupt", "skew", "bend",
                "lock-steal", "torn-commit", "disk-full")
 
 FAULTS_ENV = "REPRO_FAULTS"
@@ -310,14 +316,17 @@ class FaultInjector:
         return self.decide(site, key, kinds=("disk-full",)) is not None
 
     def corrupt_file(self, site: str, key: str, path: Path) -> bool:
-        """Damage ``path`` if a ``corrupt``/``skew`` fault fires.
+        """Damage ``path`` if a ``corrupt``/``skew``/``bend`` fault fires.
 
         ``corrupt`` leaves undecodable bytes (the JSON layer must catch
         it); ``skew`` leaves *valid* JSON with a semantically impossible
-        value, which only the :mod:`repro.check` validators can catch.
+        value, which only the :mod:`repro.check` validators can catch;
+        ``bend`` leaves valid *and plausible* JSON with every ``cycles``
+        leaf scaled and sibling ``ipc`` values re-derived — the drift
+        that only the accuracy envelopes catch.
         Returns whether a fault fired.
         """
-        spec = self.decide(site, key, kinds=("corrupt", "skew"))
+        spec = self.decide(site, key, kinds=("corrupt", "skew", "bend"))
         if spec is None:
             return False
         if spec.kind == "corrupt":
@@ -327,8 +336,12 @@ class FaultInjector:
         import json
 
         payload = json.loads(path.read_text(encoding="utf-8"))
-        if not (_skew_payload(payload)
-                or _negate_first_positive(payload)):
+        if spec.kind == "bend":
+            damaged = _bend_payload(payload) > 0
+        else:
+            damaged = bool(_skew_payload(payload)
+                           or _negate_first_positive(payload))
+        if not damaged:
             return False
         path.write_text(json.dumps(payload, sort_keys=True),
                         encoding="utf-8")
@@ -348,6 +361,49 @@ def _negate_first_positive(node) -> bool:
         if isinstance(value, (dict, list)) and _negate_first_positive(value):
             return True
     return False
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _bend_payload(node, factor: float = 1.1) -> int:
+    """Scale every ``cycles`` leaf by *factor*; returns leaves touched.
+
+    A bent artifact models a ~10% slower machine *consistently*: where a
+    ``cycles`` leaf has ``ipc``/``measured_instructions`` siblings, the
+    stored ``ipc`` is re-derived as instructions over the new cycle
+    count, so the cross-field checks in :mod:`repro.check.validators`
+    (``ipc*cycles == measured_instructions``) still hold.  The result is
+    valid, finite, plausible JSON that passes decoding and every
+    structural validator — the silent-drift failure mode only the
+    accuracy envelopes catch.
+    """
+    bent = 0
+    if isinstance(node, dict):
+        cycles = node.get("cycles")
+        if _number(cycles) and cycles > 0:
+            scaled = cycles * factor
+            new_cycles = (int(scaled) or cycles) if isinstance(cycles, int) \
+                else scaled
+            if new_cycles != cycles:
+                node["cycles"] = new_cycles
+                bent += 1
+                if _number(node.get("ipc")):
+                    measured = node.get("measured_instructions")
+                    if _number(measured):
+                        node["ipc"] = measured / new_cycles
+                    else:
+                        node["ipc"] = node["ipc"] * cycles / new_cycles
+        items = node.items()
+    elif isinstance(node, list):
+        items = enumerate(node)
+    else:
+        items = ()
+    for _key, value in items:
+        if isinstance(value, (dict, list)):
+            bent += _bend_payload(value, factor)
+    return bent
 
 
 def _skew_payload(payload) -> bool:

@@ -33,6 +33,7 @@ from typing import Iterable
 from repro.check import checks_enabled
 from repro.check.invariants import CoreInvariantChecker
 from repro.checkpoint.checkpoint import Checkpoint
+from repro.obs.flight import FlightRecorder
 from repro.obs.heartbeat import HeartbeatEmitter
 from repro.obs.tracer import get_tracer
 from repro.uarch.config import BoomConfig
@@ -73,23 +74,35 @@ def simulate_checkpoint(config: BoomConfig, program,
             core = BoomCore(config, program, state=checkpoint.restore())
         else:
             core = BoomCore(config, program, trace=trace)
+        # The flight recorder and invariant checker both ride the
+        # heartbeat observer slot (each chaining whatever was there
+        # before), so a recorded/checked run takes the same loop as a
+        # traced one and produces byte-identical artifacts —
+        # REPRO_FLIGHT and REPRO_CHECK are deliberately not part of
+        # the stage fingerprint.
+        recorder = FlightRecorder.for_session(
+            core, workload=program.name,
+            checkpoint=checkpoint.interval_index, wrapped=heartbeat)
+        if recorder is not None:
+            heartbeat = recorder
         checker = None
         if checks_enabled():
-            # Invariants ride the heartbeat observer slot (chaining
-            # any tracing emitter), so a checked run takes the same
-            # loop as a traced one and produces byte-identical
-            # artifacts — REPRO_CHECK is deliberately not part of
-            # the stage fingerprint.
             checker = CoreInvariantChecker(core, wrapped=heartbeat)
             heartbeat = checker
         if checkpoint.warmup_instructions:
             core.run(checkpoint.warmup_instructions,
                      heartbeat=heartbeat)
+        if recorder is not None:
+            # Closes the warmup phase with a boundary sample *before*
+            # the stats window swaps, so the warmup tail is captured.
+            recorder.set_phase("measure")
         stats = core.begin_measurement()
         window = checkpoint.measure_instructions or interval_size
         measured = core.run(window, heartbeat=heartbeat)
         if checker is not None:
             checker.check()
+        if recorder is not None:
+            recorder.finish()
     if emitter is not None:
         emitter.finish(checkpoint.warmup_instructions + measured)
     return {

@@ -134,9 +134,12 @@ class BoomCore:
         ``_HEARTBEAT_STRIDE`` cycles.  It only reads the counters — the
         loop's termination conditions and step sequence are identical
         with and without it, so a traced run retires exactly the same
-        instructions as an untraced one.  The ``heartbeat is None`` path
-        is the original loop, untouched, to keep the hot path free of
-        per-cycle bookkeeping.
+        instructions as an untraced one.  The ``heartbeat is None``
+        generic path is the original loop, untouched, to keep the hot
+        path free of per-cycle bookkeeping; the fused loop takes the
+        observer directly (its hoisted state is settled back onto the
+        core before every callback, so observers read consistent stats
+        mid-run on either loop).
         """
         start = self.retired_total
         start_cycle = self.cycle
@@ -146,23 +149,23 @@ class BoomCore:
             else 1 << 40
         deadline = self.cycle + _SAFETY_FACTOR * (budget + 64)
         try:
-            if heartbeat is None:
-                if self._fused and self.retire_log is None:
-                    self._run_fused(target, deadline)
-                else:
-                    while True:
-                        if target is not None \
-                                and self.retired_total >= target:
-                            break
-                        if self.frontend.out_of_instructions \
-                                and self.rob.is_empty:
-                            break
-                        self._step()
-                        if self.cycle > deadline:
-                            raise SimulationError(
-                                f"pipeline made no progress for "
-                                f"{_SAFETY_FACTOR}x the instruction budget "
-                                f"(deadlock?) at cycle {self.cycle}")
+            if self._fused and self.retire_log is None:
+                self._run_fused(target, deadline, heartbeat=heartbeat,
+                                hb_start=start, hb_start_cycle=start_cycle)
+            elif heartbeat is None:
+                while True:
+                    if target is not None \
+                            and self.retired_total >= target:
+                        break
+                    if self.frontend.out_of_instructions \
+                            and self.rob.is_empty:
+                        break
+                    self._step()
+                    if self.cycle > deadline:
+                        raise SimulationError(
+                            f"pipeline made no progress for "
+                            f"{_SAFETY_FACTOR}x the instruction budget "
+                            f"(deadlock?) at cycle {self.cycle}")
             else:
                 countdown = _HEARTBEAT_STRIDE
                 while True:
@@ -392,7 +395,9 @@ class BoomCore:
     # the fused trace-replay loop (batched engine)
     # ------------------------------------------------------------------
 
-    def _run_fused(self, target: int | None, deadline: int) -> None:
+    def _run_fused(self, target: int | None, deadline: int,
+                   heartbeat=None, hb_start: int = 0,
+                   hb_start_cycle: int = 0) -> None:
         """Specialized cycle loop for trace-driven (batched) replay.
 
         Semantically identical to iterating :meth:`_step`: same stage
@@ -404,6 +409,14 @@ class BoomCore:
         per-cycle Python dispatch collapses into one loop body.  Only
         built for collapsing issue queues with no retire log; every other
         shape replays the trace through the generic loop.
+
+        ``heartbeat`` matches the :meth:`run` observer contract: every
+        ``_HEARTBEAT_STRIDE`` cycles the hoisted locals are settled back
+        onto the core/stats tree (``settle`` below, the same fold the
+        exit path performs) and the observer is called — so invariant
+        checkers and flight recorders read exactly the state a generic
+        loop would show, while the ``heartbeat is None`` cost is one
+        integer decrement and compare per cycle.
         """
         config = self.config
         stats = self.stats
@@ -563,6 +576,60 @@ class BoomCore:
                 completions[complete_cycle] = [uop]
             else:
                 bucket.append(uop)
+
+        def settle() -> None:
+            # Locals are authoritative inside the loop; sync them back
+            # onto the core and fold the per-call accumulators into the
+            # stats tree, then zero the accumulators so the fold stays
+            # additive.  Runs on loop exit and before every heartbeat
+            # callback: after it returns the core reads exactly as if
+            # the generic loop had been stepping it.
+            nonlocal cycles_count, entry_retired, fbo, fs, ica, icm, \
+                fbw, fbr, dw, rob_occ, ldq_occ, stq_occ, acc_rob, \
+                acc_iq, acc_lsu, wb, irf_w, fprf_w
+            self.cycle = cycle
+            self.retired_total = retired_total
+            self.branches_in_flight = branches_in_flight
+            self.fp_in_flight = fp_in_flight
+            stats.cycles += cycles_count
+            fe.pos = pos
+            fe.pc = fe_pc
+            fe._seq = seq
+            fe.stall_until = stall_until
+            fe.blocked_by = blocked
+            delta = retired_total - entry_retired
+            stats.retired += delta
+            rob_stats.commit_reads += delta
+            acc.retires_sampled += delta
+            acc.rob_occupancy_at_retire += acc_rob
+            acc.iq_occupancy_at_retire += acc_iq
+            acc.lsu_occupancy_at_retire += acc_lsu
+            rob_stats.occupancy += rob_occ
+            rob_stats.dispatch_writes += dw
+            frontend_stats.fetch_buffer_occupancy += fbo
+            frontend_stats.fetch_stall_cycles += fs
+            frontend_stats.icache_accesses += ica
+            frontend_stats.icache_misses += icm
+            frontend_stats.fetch_buffer_writes += fbw
+            frontend_stats.fetch_buffer_reads += fbr
+            bpu_stats.lookups += ica
+            lsu_stats.ldq_occupancy += ldq_occ
+            lsu_stats.stq_occupancy += stq_occ
+            int_iq_stats.wakeup_broadcasts += wb
+            mem_iq_stats.wakeup_broadcasts += wb
+            fp_iq_stats.wakeup_broadcasts += wb
+            int_rf.writes += irf_w
+            fp_rf.writes += fprf_w
+            cycles_count = 0
+            entry_retired = retired_total
+            fbo = fs = ica = icm = fbw = fbr = dw = 0
+            rob_occ = ldq_occ = stq_occ = 0
+            acc_rob = acc_iq = acc_lsu = 0
+            wb = irf_w = fprf_w = 0
+
+        # -1 when unobserved: the countdown decrements forever without
+        # hitting zero, so the disabled cost is one int op per cycle.
+        countdown = _HEARTBEAT_STRIDE if heartbeat is not None else -1
 
         try:
             while True:
@@ -1062,45 +1129,17 @@ class BoomCore:
 
                 cycle += 1
                 cycles_count += 1
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _HEARTBEAT_STRIDE
+                    settle()
+                    heartbeat(retired_total - hb_start,
+                              cycle - hb_start_cycle)
                 if cycle > deadline:
                     raise SimulationError(
                         f"pipeline made no progress for "
                         f"{_SAFETY_FACTOR}x the instruction budget "
                         f"(deadlock?) at cycle {cycle}")
         finally:
-            # Locals are authoritative inside the loop; settle them back
-            # onto the core (and fold the accumulators into the stats
-            # tree) before control (or an exception) leaves.
-            self.cycle = cycle
-            self.retired_total = retired_total
-            self.branches_in_flight = branches_in_flight
-            self.fp_in_flight = fp_in_flight
-            stats.cycles += cycles_count
-            fe.pos = pos
-            fe.pc = fe_pc
-            fe._seq = seq
-            fe.stall_until = stall_until
-            fe.blocked_by = blocked
-            delta = retired_total - entry_retired
-            stats.retired += delta
-            rob_stats.commit_reads += delta
-            acc.retires_sampled += delta
-            acc.rob_occupancy_at_retire += acc_rob
-            acc.iq_occupancy_at_retire += acc_iq
-            acc.lsu_occupancy_at_retire += acc_lsu
-            rob_stats.occupancy += rob_occ
-            rob_stats.dispatch_writes += dw
-            frontend_stats.fetch_buffer_occupancy += fbo
-            frontend_stats.fetch_stall_cycles += fs
-            frontend_stats.icache_accesses += ica
-            frontend_stats.icache_misses += icm
-            frontend_stats.fetch_buffer_writes += fbw
-            frontend_stats.fetch_buffer_reads += fbr
-            bpu_stats.lookups += ica
-            lsu_stats.ldq_occupancy += ldq_occ
-            lsu_stats.stq_occupancy += stq_occ
-            int_iq_stats.wakeup_broadcasts += wb
-            mem_iq_stats.wakeup_broadcasts += wb
-            fp_iq_stats.wakeup_broadcasts += wb
-            int_rf.writes += irf_w
-            fp_rf.writes += fprf_w
+            # Settle before control (or an exception) leaves the loop.
+            settle()

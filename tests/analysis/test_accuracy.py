@@ -1,0 +1,162 @@
+"""Golden accuracy envelopes: build, IO, evaluation, and rendering.
+
+A tiny real sweep (sha at the gate's pinned scale) anchors the tests:
+the simulator is deterministic, so a clean evaluation must be exactly
+zero-error, a perturbed envelope must turn into attributed violations,
+and coverage gaps in either direction must be recorded rather than
+silently shrinking the check.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.accuracy import (
+    DEFAULT_TOLERANCES,
+    ENVELOPE_FORMAT,
+    build_envelope,
+    envelope_path,
+    evaluate_accuracy,
+    format_accuracy,
+    load_envelopes,
+    write_envelope,
+)
+from repro.flow.experiment import FlowSettings
+from repro.flow.sweep import SweepRunner
+
+SCALE = 0.05
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def sha_sweep(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("accuracy")
+    runner = SweepRunner(FlowSettings(scale=SCALE, seed=SEED),
+                         cache_dir=cache)
+    return runner.run_all(workloads=["sha"])
+
+
+@pytest.fixture(scope="module")
+def sha_envelope(sha_sweep):
+    by_config = {config: result
+                 for (_workload, config), result in sha_sweep.items()}
+    return build_envelope("sha", by_config, scale=SCALE, seed=SEED)
+
+
+def test_envelope_document_shape(sha_envelope):
+    assert sha_envelope["format"] == ENVELOPE_FORMAT
+    assert sha_envelope["scale"] == SCALE
+    assert sha_envelope["seed"] == SEED
+    assert sha_envelope["tolerances"] == DEFAULT_TOLERANCES
+    assert set(sha_envelope["presets"]) == {"MediumBOOM", "LargeBOOM",
+                                            "MegaBOOM"}
+    for entry in sha_envelope["presets"].values():
+        assert entry["ipc"] > 0
+        assert entry["cpi"] == 1.0 / entry["ipc"]
+        assert entry["tile_mw"] > 0
+        assert abs(sum(entry["component_share"].values()) - 1.0) < 1e-9
+        intervals = [interval for interval, _ipc in entry["interval_ipc"]]
+        assert intervals == sorted(intervals)
+
+
+def test_write_and_load_round_trip(tmp_path, sha_envelope):
+    path = write_envelope(tmp_path, sha_envelope)
+    assert path == envelope_path(tmp_path, "sha")
+    assert path.read_text().endswith("\n")
+    loaded = load_envelopes(tmp_path)
+    assert loaded == {"sha": json.loads(json.dumps(sha_envelope))}
+
+
+def test_load_rejects_format_mismatch(tmp_path, sha_envelope):
+    stale = dict(sha_envelope, format=ENVELOPE_FORMAT + 1)
+    write_envelope(tmp_path, stale)
+    with pytest.raises(ValueError, match="envelope format"):
+        load_envelopes(tmp_path)
+
+
+def test_clean_tree_evaluates_to_zero_error(sha_sweep, sha_envelope):
+    evaluation = evaluate_accuracy(sha_sweep, {"sha": sha_envelope})
+    assert evaluation.ok
+    assert not evaluation.missing
+    assert evaluation.checks
+    assert all(check.error == 0.0 for check in evaluation.checks)
+    assert evaluation.mape("ipc") == 0.0
+    report = format_accuracy(evaluation)
+    assert "verdict: PASS" in report
+    assert "DRIFT" not in report
+
+
+def test_perturbed_envelope_yields_attributed_violations(sha_sweep,
+                                                         sha_envelope):
+    bent = copy.deepcopy(sha_envelope)
+    for entry in bent["presets"].values():
+        entry["ipc"] *= 1.10  # 10% off a 2% band
+    evaluation = evaluate_accuracy(sha_sweep, {"sha": bent})
+    assert not evaluation.ok
+    violated = {check.metric for check in evaluation.violations}
+    assert violated == {"ipc"}
+    assert len(evaluation.violations) == 3  # one per preset
+    assert evaluation.mape("ipc") == pytest.approx(100 * (1 - 1 / 1.1),
+                                                   rel=1e-6)
+    # worst offenders rank by error over band: ipc tops the list
+    assert evaluation.worst(1)[0].metric == "ipc"
+    report = format_accuracy(evaluation)
+    assert "verdict: FAIL" in report
+    assert "DRIFT" in report
+    assert "worst offenders:" in report
+
+
+def test_share_checks_are_absolute(sha_sweep, sha_envelope):
+    bent = copy.deepcopy(sha_envelope)
+    for entry in bent["presets"].values():
+        name = sorted(entry["component_share"])[0]
+        entry["component_share"][name] += 0.05  # 5pp vs a 2pp band
+    evaluation = evaluate_accuracy(sha_sweep, {"sha": bent})
+    shares = [check for check in evaluation.violations
+              if check.metric.startswith("share:")]
+    assert len(shares) == 3
+    assert all(not check.relative for check in shares)
+    assert all(check.error == pytest.approx(0.05) for check in shares)
+
+
+def test_envelope_tolerances_override_defaults(sha_sweep, sha_envelope):
+    loose = copy.deepcopy(sha_envelope)
+    for entry in loose["presets"].values():
+        entry["ipc"] *= 1.01  # inside a widened 5% band
+    loose["tolerances"] = dict(DEFAULT_TOLERANCES, ipc=0.05)
+    evaluation = evaluate_accuracy(sha_sweep, {"sha": loose})
+    assert not [check for check in evaluation.violations
+                if check.metric == "ipc"]
+
+
+def test_missing_pairings_recorded_both_ways(sha_sweep, sha_envelope):
+    # a result with no envelope...
+    evaluation = evaluate_accuracy(sha_sweep, {})
+    assert not evaluation.ok
+    assert all("no envelope for workload" in gap
+               for gap in evaluation.missing)
+    # ...and an envelope with no result
+    one_pair = {key: result for key, result in sha_sweep.items()
+                if key[1] == "MediumBOOM"}
+    evaluation = evaluate_accuracy(one_pair, {"sha": sha_envelope})
+    assert not evaluation.ok
+    gaps = "\n".join(evaluation.missing)
+    assert "sha/LargeBOOM has no sweep result" in gaps
+    assert "sha/MegaBOOM has no sweep result" in gaps
+    report = format_accuracy(evaluation)
+    assert "coverage gaps:" in report
+    assert "verdict: FAIL" in report
+
+
+def test_interval_profile_is_checked(sha_sweep, sha_envelope):
+    bent = copy.deepcopy(sha_envelope)
+    entry = bent["presets"]["MediumBOOM"]
+    entry["interval_ipc"][0][1] *= 1.5
+    evaluation = evaluate_accuracy(sha_sweep, {"sha": bent})
+    violated = evaluation.violations
+    assert len(violated) == 1
+    assert violated[0].metric.startswith("interval:")
+    assert violated[0].config == "MediumBOOM"

@@ -103,3 +103,70 @@ def test_chrome_export_empty_trace():
     assert to_chrome({"events": []}) == \
         {"traceEvents": [], "displayTimeUnit": "ms"}
     assert format_tree({"events": []}) == "(empty trace)"
+
+
+# ----------------------------------------------------------------------
+# flight timeline rendering: sparklines and Chrome counter tracks
+# ----------------------------------------------------------------------
+
+def _flight_doc():
+    def sample(seq, ipc, phase="measure"):
+        return {"type": "flight", "pid": 7, "seq": seq, "workload": "sha",
+                "config": "MediumBOOM", "checkpoint": 0, "phase": phase,
+                "cycle": 4096 * (seq + 1), "cycles": 4096,
+                "retired": int(ipc * 4096), "ipc": ipc, "final": False,
+                "occupancy": {"rob": 10.0 + seq, "iq": 4.0, "ldq": 2.0,
+                              "stq": 1.0, "fetch_buffer": 3.0},
+                "rates": {"fetch_stall_frac": 0.1, "branch_mpki": 5.0,
+                          "icache_mpki": 1.0, "dcache_mpki": 2.0 + seq},
+                "power": {"tile_mw": 20.0 + seq,
+                          "shares": {"rob": 0.5, "rest_of_tile": 0.5}}}
+
+    samples = [sample(0, 0.8, phase="warmup"),
+               sample(1, 1.0), sample(2, 1.5), sample(3, 0.5)]
+    return {"schema": 1, "samples": samples, "skipped_lines": 1}
+
+
+def test_sparkline_shapes():
+    from repro.obs.render import sparkline
+
+    assert sparkline([]) == ""
+    flat = sparkline([3.0, 3.0, 3.0])
+    assert len(flat) == 3 and len(set(flat)) == 1
+    rising = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert rising == "".join(sorted(rising))
+    assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_format_flight_blocks_and_stats():
+    from repro.obs.render import format_flight
+
+    out = format_flight(_flight_doc(), width=20)
+    assert "sha × MediumBOOM · checkpoint 0 (3 samples" in out
+    # warmup samples are excluded from the timeline
+    assert "(3 samples, 12288 cycles)" in out
+    assert "ipc" in out and "tile_mw" in out
+    assert "min=0.500" in out and "max=1.500" in out
+    assert "1 unparseable flight line(s) skipped" in out
+    assert format_flight({"samples": []}) \
+        == "(no measure-phase flight samples)"
+
+
+def test_flight_to_chrome_counter_tracks():
+    import json
+
+    from repro.obs.render import flight_to_chrome
+
+    doc = flight_to_chrome(_flight_doc())
+    events = doc["traceEvents"]
+    json.dumps(doc)
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(meta) == 1
+    assert meta[0]["args"]["name"] == "sha/MediumBOOM#0"
+    counters = [e for e in events if e["ph"] == "C"]
+    # 3 measure samples × (ipc + occupancy + rates + tile_mw)
+    assert len(counters) == 12
+    ipc_track = [e for e in counters if e["name"] == "ipc"]
+    assert [e["args"]["ipc"] for e in ipc_track] == [1.0, 1.5, 0.5]
+    assert [e["ts"] for e in ipc_track] == [8192.0, 12288.0, 16384.0]
+    assert flight_to_chrome({"samples": []})["traceEvents"] == []

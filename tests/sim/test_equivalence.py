@@ -157,6 +157,32 @@ def test_batched_ring_queue_shape_bit_identical():
     assert batched == serial
 
 
+def test_flight_recorder_is_observation_only():
+    """A recorded run retires bit-identical state on every preset.
+
+    The flight recorder rides the heartbeat slot; this pins that
+    sampling (which flushes IQ occupancy histograms mid-run and reads
+    the stats tree) never perturbs the simulation: cycle counts and the
+    full stat dictionaries match an unobserved run exactly.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    program, checkpoint = _batch_checkpoint()
+    for config in ALL_CONFIGS:
+        plain = _measure(BoomCore(config, program,
+                                  state=checkpoint.restore()))
+        core = BoomCore(config, program, state=checkpoint.restore())
+        recorder = FlightRecorder(core, workload="sha", sink=[])
+        core.run(_BATCH_WARMUP, heartbeat=recorder)
+        recorder.set_phase("measure")
+        stats = core.begin_measurement()
+        core.run(_BATCH_WINDOW, heartbeat=recorder)
+        recorder.finish()
+        observed = (core.cycle, json.dumps(stats.to_dict(),
+                                           sort_keys=True))
+        assert observed == plain, config.name
+
+
 def test_batched_dse_sampled_point_bit_identical():
     """A generated off-preset design point joins the presets' batch."""
     sampled = generate_points(SpaceSpec(base="LargeBOOM", mode="random",

@@ -277,3 +277,96 @@ def test_sweep_disk_floor_degrades_with_exit_3(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 3
     assert "degraded" in captured.err
+
+
+# ----------------------------------------------------------------------
+# observability: flight recording, accuracy envelopes, exports
+# ----------------------------------------------------------------------
+
+def test_flight_sweep_records_and_renders(capsys, tmp_path):
+    import os
+
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "--flight", "sweep"])
+    os.environ.pop("REPRO_FLIGHT", None)  # --flight exports it for workers
+    capsys.readouterr()
+    assert code == 0
+    assert (tmp_path / "obs").is_dir()
+
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path), "flight")
+    assert code == 0
+    assert "checkpoint" in out
+    assert "ipc" in out
+
+    chrome = tmp_path / "flight_chrome.json"
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "flight", "-f", "chrome", "-o", str(chrome))
+    assert code == 0
+    import json as _json
+    doc = _json.loads(chrome.read_text())
+    assert any(event["ph"] == "C" for event in doc["traceEvents"])
+
+
+def test_flight_without_run_errors(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path), "flight"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no obs run" in captured.err
+
+
+def test_trace_prom_export(capsys, tmp_path):
+    code = main(["--scale", "0.05", "--cache-dir", str(tmp_path),
+                 "--trace", "sweep"])
+    capsys.readouterr()
+    assert code == 0
+    prom = tmp_path / "metrics.prom"
+    code, out = run_cli(capsys, "--cache-dir", str(tmp_path),
+                        "trace", "--prom", str(prom))
+    assert code == 0
+    text = prom.read_text()
+    assert "# TYPE " in text
+    assert "repro_" in text
+
+
+def test_accuracy_update_then_evaluate(capsys, tmp_path):
+    envelopes = tmp_path / "envelopes"
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "accuracy", "--update",
+                        "--envelopes", str(envelopes),
+                        "--workloads", "sha")
+    assert code == 0
+    assert (envelopes / "sha.json").exists()
+    assert "review the diff" in out
+
+    # the deterministic model re-evaluates to zero error against the
+    # envelopes it just wrote — even from a cold cache
+    code, out = run_cli(capsys, "--scale", "0.05",
+                        "--cache-dir", str(tmp_path / "cache2"),
+                        "accuracy", "--envelopes", str(envelopes))
+    assert code == 0
+    assert "verdict: PASS" in out
+    assert "MAPE: ipc 0.000%" in out
+
+
+def test_accuracy_without_envelopes_errors(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path),
+                 "accuracy", "--envelopes", str(tmp_path / "none")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no accuracy envelopes" in captured.err
+
+
+def test_bench_trend_via_cli(capsys, tmp_path):
+    import json as _json
+
+    for date, cycles in (("2026-01-01", 1e5), ("2026-02-02", 2e5)):
+        (tmp_path / f"BENCH_{date}.json").write_text(_json.dumps({
+            "date": date,
+            "metrics": {"calibration.ops_per_s": 1e6,
+                        "core.batched.cycles_per_s": cycles}}))
+    code, out = run_cli(capsys, "bench", "--trend",
+                        "--trend-dir", str(tmp_path))
+    assert code == 0
+    assert "core.batched.cycles_per_s" in out
+    assert "2.00" in out
