@@ -179,11 +179,19 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.flow.scheduler import RetryPolicy
 
+    if args.workloads:
+        known = set(workload_names())
+        unknown = sorted(set(args.workloads) - known)
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}; "
+                  f"see `repro-cli workloads`", file=sys.stderr)
+            return 2
     runner = _runner(args)
     policy = RetryPolicy(max_attempts=args.retries + 1) \
         if args.retries is not None else None
     results = runner.run_all(
-        jobs=args.jobs, policy=policy, timeout=args.timeout,
+        workloads=args.workloads, jobs=args.jobs, policy=policy,
+        timeout=args.timeout,
         fail_fast=args.fail_fast, resume=args.resume,
         trace=args.trace, progress=args.progress,
         deadline=args.deadline, max_rss_mb=args.max_rss,
@@ -210,6 +218,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{len(manifest.timeouts)} timed out)", file=sys.stderr)
         return 3
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.flow.jobs import JobLimits
+    from repro.serve import ClientQuotas, serve_forever
+
+    limits = JobLimits(
+        jobs_cap=args.jobs_cap, timeout=args.timeout,
+        retries=args.retries, deadline=args.deadline,
+        max_rss_mb=args.max_rss, min_free_mb=args.min_free_mb)
+    quotas = ClientQuotas(rate=args.rate, burst=args.burst,
+                          max_client_jobs=args.max_client_jobs)
+    return serve_forever(
+        args.cache_dir, host=args.host, port=args.port,
+        workers=args.workers, limits=limits, quotas=quotas,
+        max_queue=args.max_queue, trace_jobs=args.trace_jobs,
+        drain_timeout=args.drain_timeout, port_file=args.port_file,
+        announce=lambda line: print(line, flush=True))
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -735,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="pick an interrupted sweep back up: completed experiments "
              "come from the cache, permanent failures are not re-run")
     sweep_parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="WORKLOAD",
+        help="restrict the sweep to these workloads (default: the "
+             "full suite)")
+    sweep_parser.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=False,
         help="simulate all configs of a workload in one batched pass "
              "sharing the recorded fetch trace (byte-identical "
@@ -988,6 +1018,59 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(repeatable)")
     bench_parser.set_defaults(handler=_cmd_bench)
 
+    serve_parser = commands.add_parser(
+        "serve", help="run the sweep-as-a-service job server "
+                      "(see docs/serve.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick a free one; see --port-file)")
+    serve_parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent jobs executed at once (default 2)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16,
+        help="bounded job queue depth; beyond it submissions get 429 "
+             "queue-full (default 16)")
+    serve_parser.add_argument(
+        "--jobs-cap", type=int, default=1, metavar="N",
+        help="clamp on the per-job worker fan-out a request may ask "
+             "for (default 1)")
+    serve_parser.add_argument(
+        "--rate", type=float, default=10.0,
+        help="per-client sustained submissions/s (default 10)")
+    serve_parser.add_argument(
+        "--burst", type=float, default=20.0,
+        help="per-client submission burst size (default 20)")
+    serve_parser.add_argument(
+        "--max-client-jobs", type=int, default=4, metavar="N",
+        help="per-client concurrent unfinished jobs (default 4)")
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment timeout inside each job")
+    serve_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="per-experiment retry budget inside each job")
+    serve_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock guardrail")
+    serve_parser.add_argument(
+        "--max-rss", type=float, default=None, metavar="MB",
+        help="per-job peak-RSS guardrail")
+    serve_parser.add_argument(
+        "--min-free-mb", type=float, default=None, metavar="MB",
+        help="refuse job work when free memory drops below this")
+    serve_parser.add_argument(
+        "--trace-jobs", action="store_true",
+        help="record an observability trace for every job")
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="how long SIGTERM waits for running jobs (default 60)")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     check_parser = commands.add_parser(
         "check", help="validate the models: invariants, differential "
                       "re-execution, power/result validators")
@@ -999,6 +1082,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="configurations to validate (default: MediumBOOM)")
     check_parser.set_defaults(handler=_cmd_check)
     return parser
+
+
+def _report_failure(exc: BaseException, *, verbose: bool) -> int:
+    """One taxonomy-coded line on stderr + the reserved exit code.
+
+    Subcommand handlers let unexpected exceptions escape; this is the
+    single place they land.  Without ``--verbose`` the traceback is
+    suppressed — scripts and CI wrappers get a stable one-liner and a
+    meaningful exit code (``repro.errors``) instead of a raw dump.
+    """
+    import traceback
+
+    from repro.errors import (
+        SweepInterrupted,
+        classify_failure,
+        exit_code_for,
+    )
+
+    code = exit_code_for(exc)
+    if isinstance(exc, (SweepInterrupted, KeyboardInterrupt)):
+        name = exc.signal_name if isinstance(exc, SweepInterrupted) \
+            else "SIGINT"
+        print(f"repro-cli: interrupted by {name} (exit {code}); "
+              f"state settled — resume with --resume", file=sys.stderr)
+        return code
+    if verbose:
+        traceback.print_exc()
+    kind = classify_failure(exc)
+    print(f"repro-cli: error[{kind}/{type(exc).__name__}]: {exc}",
+          file=sys.stderr)
+    if not verbose:
+        print("repro-cli: re-run with --verbose for the full traceback",
+              file=sys.stderr)
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1018,7 +1135,12 @@ def main(argv: list[str] | None = None) -> int:
 
         os.environ[FLIGHT_ENV] = "1"
         args.trace = True
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except SystemExit:
+        raise
+    except BaseException as exc:
+        return _report_failure(exc, verbose=args.log_verbose > 0)
 
 
 if __name__ == "__main__":

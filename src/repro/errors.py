@@ -215,6 +215,30 @@ class SweepAborted(SchedulerError):
     """The sweep stopped early (``--fail-fast`` after a permanent failure)."""
 
 
+class SweepInterrupted(SchedulerError):
+    """SIGINT/SIGTERM arrived mid-sweep; state was settled before exit.
+
+    Raised by the signal handlers :class:`repro.flow.interrupt`
+    installs around ``run_all``: the sweep marks its state
+    ``interrupted``, aborts its open journal intents and releases its
+    work-claim leases before re-raising, so ``--resume`` is immediately
+    trustworthy without a ``repro-cli recover`` pass.  The CLI maps it
+    to :data:`EXIT_INTERRUPTED`.
+    """
+
+    def __init__(self, signal_name: str = "SIGINT") -> None:
+        self.signal_name = signal_name
+        super().__init__(f"interrupted by {signal_name}")
+
+
+class ServeError(ReproError):
+    """Job-server protocol misuse (bad request, unknown job, refusal)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)
+
+
 #: exception types retried by the supervised scheduler.  ``OSError``
 #: covers the whole I/O family (disk, pipes, timeouts — ``TimeoutError``
 #: is an ``OSError`` subclass); ``BrokenExecutor`` covers crashed /
@@ -231,3 +255,41 @@ def classify_failure(exc: BaseException) -> str:
     are deterministic model errors that would recur on every attempt.
     """
     return TRANSIENT if isinstance(exc, _TRANSIENT_TYPES) else PERMANENT
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+#
+# Every ``repro-cli`` invocation exits through this vocabulary, so
+# wrappers (CI, the job server's load generator, shell scripts) can
+# branch on *why* a command stopped without scraping stderr:
+#
+# 0/1/2/3 predate the taxonomy handler and keep their meanings; the
+# rest are reserved here so subcommands cannot drift apart.
+
+EXIT_OK = 0
+#: a check/takeaway/accuracy evaluation ran fine but *failed*
+EXIT_CHECK_FAILED = 1
+#: bad usage or unusable inputs (argparse also exits 2)
+EXIT_USAGE = 2
+#: the sweep completed but degraded (failures/timeouts in the manifest)
+EXIT_DEGRADED = 3
+#: SIGINT/SIGTERM mid-run; lifecycle state was settled before exit
+EXIT_INTERRUPTED = 4
+#: an uncaught *permanent* taxonomy error (deterministic model failure)
+EXIT_PERMANENT = 5
+#: an uncaught *transient* taxonomy error (environment; a rerun may pass)
+EXIT_TRANSIENT = 6
+#: an exception outside the taxonomy escaped a subcommand (a bug here)
+EXIT_INTERNAL = 70
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The reserved exit code for an exception escaping a subcommand."""
+    if isinstance(exc, (SweepInterrupted, KeyboardInterrupt)):
+        return EXIT_INTERRUPTED
+    if isinstance(exc, (ReproError,) + _TRANSIENT_TYPES):
+        return (EXIT_TRANSIENT if classify_failure(exc) == TRANSIENT
+                else EXIT_PERMANENT)
+    return EXIT_INTERNAL

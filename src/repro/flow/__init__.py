@@ -14,6 +14,8 @@ from repro.flow.experiment import (
     run_experiment,
     run_selection,
 )
+from repro.flow.interrupt import InterruptGuard
+from repro.flow.jobs import JobLimits, run_job
 from repro.flow.results import ExperimentResult, SimPointRun
 from repro.flow.scheduler import (
     RetryPolicy,
@@ -35,6 +37,9 @@ __all__ = [
     "run_experiment",
     "run_selection",
     "ExperimentResult",
+    "InterruptGuard",
+    "JobLimits",
+    "run_job",
     "SimPointRun",
     "RetryPolicy",
     "ScheduleOutcome",

@@ -95,7 +95,8 @@ def run_dse(spec: SpaceSpec,
             fail_fast: bool = False,
             resume: bool = False,
             trace: bool = False,
-            progress: bool = False) -> DseOutcome:
+            progress: bool = False,
+            runner_hook=None) -> DseOutcome:
     """Generate (or adopt) a point set, sweep it, compute the frontier.
 
     ``configs`` overrides generation with a pre-materialized point list
@@ -104,6 +105,9 @@ def run_dse(spec: SpaceSpec,
     points (a degraded sweep under fault injection) are skipped by the
     frontier, not fatal — the outcome's ``skipped`` list and the sweep
     manifest carry the evidence.
+
+    ``runner_hook`` receives the internal :class:`SweepRunner` before
+    the sweep starts — the job server uses it to poll live progress.
     """
     from repro.analysis.dse import (
         pareto_frontier,
@@ -115,6 +119,8 @@ def run_dse(spec: SpaceSpec,
     if configs is None:
         configs = generate_points(spec, space=space)
     runner = SweepRunner(settings=settings, cache_dir=cache_dir)
+    if runner_hook is not None:
+        runner_hook(runner)
     started = perf_counter()
     results = runner.run_all(
         configs=configs, workloads=workloads, jobs=jobs, policy=policy,

@@ -48,10 +48,12 @@ from repro.errors import (
     PERMANENT,
     TRANSIENT,
     DiskSpaceError,
+    SweepInterrupted,
     classify_failure,
 )
 from repro.flow.experiment import FlowSettings
 from repro.flow.guardrails import ResourceGuard
+from repro.flow.interrupt import InterruptGuard
 from repro.flow.results import ExperimentResult
 from repro.flow.scheduler import (
     RetryPolicy,
@@ -70,7 +72,7 @@ from repro.pipeline.artifacts import (
     atomic_write_text,
 )
 from repro.pipeline.faults import FaultInjector
-from repro.pipeline.locking import FileLock, owner_token
+from repro.pipeline.locking import FileLock, owner_token, release_held
 from repro.pipeline.manifest import RunManifest, TaskRecord
 from repro.pipeline.stages import ExperimentPipeline, RESULT_STAGE
 from repro.uarch.config import ALL_CONFIGS, BoomConfig
@@ -164,6 +166,9 @@ class SweepRunner:
                                                self.cache_dir))
         self.pipeline = ExperimentPipeline(self.store, self.settings)
         self.last_manifest: RunManifest | None = None
+        #: obs run directory of the current/last traced run (the job
+        #: server attaches its heartbeat taps here)
+        self.obs_run_dir: Path | None = None
         self.resumed_completed = 0
         #: workload -> error, for batches that degraded to per-config
         #: simulation during the last run_all (settings.batch only)
@@ -307,17 +312,29 @@ class SweepRunner:
             "status": "running",
             "owner": owner_token(),
         }
-        self._write_state()
         results: dict[tuple[str, str], ExperimentResult] = {}
+        interrupted: SweepInterrupted | None = None
         try:
-            if jobs > 1:
-                self._run_parallel(pending_pairs, jobs, results, outcome,
-                                   policy=policy, timeout=timeout,
-                                   fail_fast=fail_fast, guard=guard)
-            else:
-                self._run_serial(pending_pairs, results, outcome,
-                                 policy=policy, fail_fast=fail_fast,
-                                 guard=guard)
+            with InterruptGuard():
+                # the state file is written only once the guard is
+                # live: "sweep_state.json exists" implies a signal now
+                # settles cleanly instead of killing us mid-write
+                self._write_state()
+                if jobs > 1:
+                    self._run_parallel(pending_pairs, jobs, results,
+                                       outcome, policy=policy,
+                                       timeout=timeout,
+                                       fail_fast=fail_fast, guard=guard)
+                else:
+                    self._run_serial(pending_pairs, results, outcome,
+                                     policy=policy, fail_fast=fail_fast,
+                                     guard=guard)
+        except SweepInterrupted as exc:
+            interrupted = exc
+        except KeyboardInterrupt:
+            # guard not installed (worker thread) or a raw Ctrl-C that
+            # beat the handler: settle the same way
+            interrupted = SweepInterrupted("SIGINT")
         finally:
             trace_path = self._finish_observability(session, monitor)
         manifest = RunManifest.delta(
@@ -330,10 +347,46 @@ class SweepRunner:
         self.last_manifest = manifest
         self._state["failures"] = [record.to_dict()
                                    for record in outcome.failures]
-        self._state["status"] = "aborted" if outcome.aborted else "complete"
+        if interrupted is not None:
+            self._state["status"] = "interrupted"
+        else:
+            self._state["status"] = "aborted" if outcome.aborted \
+                else "complete"
         self._write_state()
         self._write_manifest(manifest)
+        if interrupted is not None:
+            self._settle_interrupt(interrupted)
+            raise interrupted
         return results
+
+    def _settle_interrupt(self, exc: SweepInterrupted) -> None:
+        """Leave nothing for ``repro-cli recover`` to repair.
+
+        The state file already says ``interrupted``; what remains is
+        the in-flight bookkeeping: open journal intents are aborted
+        (artifact writes are atomic, so nothing torn can sit at a final
+        path), this process's held leases are released, and leases of
+        already-terminated pool workers are reclaimed.
+        """
+        aborted = self.store.journal.abort_open()
+        released = release_held()
+        released += self.store.claims.release_dead()
+        logger.warning(
+            "sweep interrupted by %s: state marked interrupted, "
+            "%d journal intent(s) aborted, %d lease(s) released",
+            exc.signal_name, aborted, released)
+
+    def progress(self) -> dict:
+        """Snapshot of the running (or last) sweep, safe to read from
+        another thread — the job server's status endpoint polls this."""
+        state = getattr(self, "_state", None)
+        if state is None:
+            return {"status": "idle", "total": 0, "completed": 0,
+                    "failures": 0}
+        return {"status": state.get("status", "unknown"),
+                "total": state.get("total", 0),
+                "completed": len(state.get("completed", ())),
+                "failures": len(state.get("failures", ()))}
 
     # ------------------------------------------------------------------
     # observability session plumbing
@@ -349,6 +402,7 @@ class SweepRunner:
                            "directory; trace disabled")
             return None, None
         session = TraceSession(self.cache_dir, label="sweep").start()
+        self.obs_run_dir = session.run_dir
         monitor = None
         if progress:
             monitor = ProgressMonitor(session.run_dir).start()
@@ -413,6 +467,8 @@ class SweepRunner:
                     faults.inject("worker.batch", workload)
                 primed = self.pipeline.prepare_detailed_batch(workload,
                                                               configs)
+            except SweepInterrupted:
+                raise  # settle in run_all, not a degraded batch
             except Exception as exc:
                 self.batch_degraded[workload] = \
                     f"{type(exc).__name__}: {exc}"
@@ -454,6 +510,8 @@ class SweepRunner:
                 attempts += 1
                 try:
                     result = self.run(workload, config)
+                except SweepInterrupted:
+                    raise  # never a per-experiment failure record
                 except Exception as exc:
                     kind = classify_failure(exc)
                     error = f"{type(exc).__name__}: {exc}"

@@ -9,6 +9,11 @@ and periodically prints one status line per active workload with
 instantaneous rate and an ETA when the stream advertises its total.
 Worker diagnostic logs are drained through the same thread, so the
 terminal has exactly one writer.
+
+The ingestion itself lives in :class:`HeartbeatTap` so other consumers
+can fold the same heartbeats without the rendering thread: the job
+server attaches one tap per traced job and serves
+:meth:`HeartbeatTap.snapshot` from its ``status`` endpoint.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import IO
 
 from .logs import WorkerLogMerger
 
-__all__ = ["ProgressMonitor"]
+__all__ = ["HeartbeatTap", "ProgressMonitor"]
 
 
 class _Stream:
@@ -36,6 +41,83 @@ class _Stream:
         self.units = ""
 
 
+class HeartbeatTap:
+    """Incremental reader of ``hb`` events under one obs run directory.
+
+    Stateful and cheap to poll: each :meth:`poll` reads only the bytes
+    appended since the last one (complete lines only, tolerating a torn
+    tail from a crashed writer) and folds heartbeats into
+    per-(workload, stream) state.  Thread-safe — the server's asyncio
+    loop snapshots while a monitor thread ingests.
+    """
+
+    def __init__(self, run_dir: Path | str) -> None:
+        self.run_dir = Path(run_dir)
+        self._offsets: dict[Path, int] = {}
+        self._streams: dict[tuple, _Stream] = {}
+        self._lock = threading.Lock()
+
+    def poll(self) -> bool:
+        """Ingest newly appended heartbeats; ``True`` if anything changed."""
+        changed = False
+        try:
+            files = sorted(self.run_dir.glob("events-*.jsonl"))
+        except OSError:
+            return False
+        now = time.monotonic()
+        for path in files:
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            complete, _, remainder = chunk.rpartition(b"\n")
+            self._offsets[path] = offset + len(chunk) - len(remainder)
+            if not complete:
+                continue
+            for raw in complete.splitlines():
+                try:
+                    event = json.loads(raw)
+                except (json.JSONDecodeError, ValueError):
+                    continue
+                if not isinstance(event, dict) or event.get("type") != "hb":
+                    continue
+                attrs = event.get("attrs") or {}
+                key = (attrs.get("workload", "?"), event.get("name", "?"))
+                with self._lock:
+                    state = self._streams.setdefault(key, _Stream())
+                    state.value = attrs.get("value", state.value)
+                    state.total = attrs.get("total", state.total) \
+                        or state.total
+                    state.rate = attrs.get("rate", state.rate)
+                    state.units = attrs.get("units", state.units)
+                    state.updated = now
+                changed = True
+        return changed
+
+    def streams(self) -> list[tuple[tuple, _Stream]]:
+        """(key, state) pairs, most recently updated first."""
+        with self._lock:
+            return sorted(self._streams.items(),
+                          key=lambda item: -item[1].updated)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-able view: ``"workload/stream" -> {value, total, ...}``."""
+        out: dict[str, dict] = {}
+        for (workload, name), state in self.streams():
+            out[f"{workload}/{name}"] = {
+                "value": state.value,
+                "total": state.total,
+                "rate": state.rate,
+                "units": state.units,
+            }
+        return out
+
+
 class ProgressMonitor:
     """Tails heartbeats under *run_dir* and prints live progress lines."""
 
@@ -46,8 +128,7 @@ class ProgressMonitor:
         self.run_dir = Path(run_dir)
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
-        self._offsets: dict[Path, int] = {}
-        self._streams: dict[tuple, _Stream] = {}
+        self.tap = HeartbeatTap(self.run_dir)
         self._logs = WorkerLogMerger(self.run_dir) if merge_logs else None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -94,7 +175,7 @@ class ProgressMonitor:
         lines: list[str] = []
         if self._logs is not None:
             lines.extend(self._logs.drain())
-        changed = self._ingest()
+        changed = self.tap.poll()
         if changed:
             rendered = self.render()
             if rendered and rendered != self._last_render:
@@ -107,51 +188,10 @@ class ProgressMonitor:
             except (OSError, ValueError):
                 pass
 
-    def _ingest(self) -> bool:
-        changed = False
-        try:
-            files = sorted(self.run_dir.glob("events-*.jsonl"))
-        except OSError:
-            return False
-        now = time.monotonic()
-        for path in files:
-            offset = self._offsets.get(path, 0)
-            try:
-                with open(path, "rb") as handle:
-                    handle.seek(offset)
-                    chunk = handle.read()
-            except OSError:
-                continue
-            if not chunk:
-                continue
-            complete, _, remainder = chunk.rpartition(b"\n")
-            self._offsets[path] = offset + len(chunk) - len(remainder)
-            if not complete:
-                continue
-            for raw in complete.splitlines():
-                try:
-                    event = json.loads(raw)
-                except (json.JSONDecodeError, ValueError):
-                    continue
-                if not isinstance(event, dict) or event.get("type") != "hb":
-                    continue
-                attrs = event.get("attrs") or {}
-                key = (attrs.get("workload", "?"), event.get("name", "?"))
-                state = self._streams.setdefault(key, _Stream())
-                state.value = attrs.get("value", state.value)
-                state.total = attrs.get("total", state.total) or state.total
-                state.rate = attrs.get("rate", state.rate)
-                state.units = attrs.get("units", state.units)
-                state.updated = now
-                changed = True
-        return changed
-
     def render(self) -> str:
         """One status line per (workload, stream), most recent first."""
         rows = []
-        for (workload, name), state in sorted(
-                self._streams.items(),
-                key=lambda item: -item[1].updated):
+        for (workload, name), state in self.tap.streams():
             parts = [f"{workload}: {name} {state.value:,} {state.units}"]
             if state.total:
                 fraction = min(state.value / state.total, 1.0)

@@ -67,7 +67,11 @@ from repro.pipeline.journal import (
     JOURNAL_DIR_NAME,
     QUARANTINE_DIR_NAME,
 )
-from repro.pipeline.locking import LEASE_DIR_NAME, WorkClaims
+from repro.pipeline.locking import (
+    DecorrelatedJitter,
+    LEASE_DIR_NAME,
+    WorkClaims,
+)
 
 #: bump when the simulation/power models change to invalidate cached
 #: artifacts (the old whole-experiment sweep cache used the same knob)
@@ -191,6 +195,21 @@ def _jsonable(value: Any) -> Any:
         f"fingerprintable: {value!r}")
 
 
+def canonical_fingerprint(kind: str, params: Mapping) -> str:
+    """Stable sha256[:24] content address of ``(kind, params)``.
+
+    The scheme behind every stage fingerprint — exposed at module level
+    so other layers addressing work by content (the job server's
+    request hashes) share one canonicalization instead of inventing a
+    second, subtly different one.
+    """
+    canonical = json.dumps(
+        {"format": ARTIFACT_FORMAT, "stage": kind,
+         "params": dict(params)},
+        sort_keys=True, separators=(",", ":"), default=_jsonable)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
 class ArtifactStore:
     """Persists pipeline-stage outputs under content-addressed keys.
 
@@ -230,11 +249,7 @@ class ArtifactStore:
         is stable across processes and interpreter runs (no reliance on
         ``hash()``) and changes whenever any parameter changes.
         """
-        canonical = json.dumps(
-            {"format": ARTIFACT_FORMAT, "stage": stage,
-             "params": dict(params)},
-            sort_keys=True, separators=(",", ":"), default=_jsonable)
-        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+        return canonical_fingerprint(stage, params)
 
     def json_path(self, stage: str, fingerprint: str) -> Path | None:
         if self.root is None:
@@ -439,6 +454,9 @@ class ArtifactStore:
         """
         started = monotonic()
         deadline = started + self.lease_timeout
+        # decorrelated jitter: when the winner publishes, its N waiters
+        # would otherwise all re-probe (and later re-claim) in lockstep
+        jitter = DecorrelatedJitter(self.lease_poll)
         while True:
             value = probe()
             if value is not None:
@@ -454,10 +472,11 @@ class ArtifactStore:
                     self._observe_dedupe(stage, fingerprint,
                                          monotonic() - started)
                 return value
-            if monotonic() >= deadline:
+            remaining = deadline - monotonic()
+            if remaining <= 0.0:
                 raise LeaseTimeoutError(f"{stage}/{fingerprint}",
                                         self.lease_timeout)
-            sleep(self.lease_poll)
+            sleep(min(jitter.next_delay(), remaining))
 
     def _observe_dedupe(self, stage: str, fingerprint: str,
                         waited: float) -> None:

@@ -130,6 +130,11 @@ class IntentJournal:
         self.root = Path(root) if root is not None else None
         self._handle: IO[str] | None = None
         self._pid: int | None = None
+        # intents this process claimed but has not yet settled, so an
+        # interrupted run can abort them explicitly instead of leaving
+        # recover_cache to prove the owner dead first
+        self._open: dict[tuple[str, str], None] = {}
+        self._open_pid: int | None = None
 
     @property
     def directory(self) -> Path | None:
@@ -175,15 +180,54 @@ class IntentJournal:
         else:
             get_metrics().counter(f"journal.{op}").inc()
 
+    def _track(self, op: str, stage: str, fingerprint: str) -> None:
+        # a forked child inherits the parent's open set but must not
+        # abort (or re-settle) the parent's intents: reset on pid change
+        pid = os.getpid()
+        if self._open_pid != pid:
+            self._open = {}
+            self._open_pid = pid
+        key = (stage, fingerprint)
+        if op == CLAIM:
+            self._open[key] = None
+        else:
+            self._open.pop(key, None)
+
     def claim(self, stage: str, fingerprint: str,
               path: Path | str) -> None:
+        self._track(CLAIM, stage, fingerprint)
         self._append(CLAIM, stage, fingerprint, path)
 
     def commit(self, stage: str, fingerprint: str) -> None:
+        self._track(COMMIT, stage, fingerprint)
         self._append(COMMIT, stage, fingerprint)
 
     def abort(self, stage: str, fingerprint: str) -> None:
+        self._track(ABORT, stage, fingerprint)
         self._append(ABORT, stage, fingerprint)
+
+    def open_count(self) -> int:
+        """How many of this process's intents are still unsettled."""
+        if self._open_pid != os.getpid():
+            return 0
+        return len(self._open)
+
+    def abort_open(self) -> int:
+        """Abort every intent this process claimed but never settled.
+
+        The interrupt path's journal half: after this, the journal
+        proves the interrupted run left nothing in flight, so a later
+        ``recover_cache`` has no claims to quarantine (artifact writes
+        are atomic — an aborted claim's final path either holds a
+        complete artifact or nothing).  Returns the number aborted.
+        """
+        if self._open_pid != os.getpid():
+            return 0
+        aborted = 0
+        for stage, fingerprint in list(self._open):
+            self.abort(stage, fingerprint)
+            aborted += 1
+        return aborted
 
     def close(self) -> None:
         if self._handle is not None:

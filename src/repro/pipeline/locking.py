@@ -39,6 +39,8 @@ from __future__ import annotations
 import errno
 import json
 import os
+import random
+import threading
 import time
 from pathlib import Path
 from typing import Callable
@@ -52,8 +54,9 @@ from repro.errors import LeaseTimeoutError, LockTimeoutError
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 
-__all__ = ["FileLock", "Lease", "WorkClaims", "boot_id", "owner_token",
-           "process_alive", "LEASE_DIR_NAME"]
+__all__ = ["DecorrelatedJitter", "FileLock", "Lease", "WorkClaims",
+           "boot_id", "held_leases", "owner_token", "process_alive",
+           "release_held", "LEASE_DIR_NAME"]
 
 #: subdirectory of the cache root holding work-claim leases
 LEASE_DIR_NAME = "leases"
@@ -122,6 +125,57 @@ def _owner_alive(owner: dict) -> bool:
         return process_alive(int(owner["pid"]), owner.get("boot_id"))
     except (KeyError, TypeError, ValueError):
         return False  # malformed owner record: treat as dead
+
+
+# ----------------------------------------------------------------------
+# in-process registry of held leases
+# ----------------------------------------------------------------------
+#
+# Leases die with their owner *eventually* (the next claimant steals a
+# dead owner's lease), but an interrupted sweep wants to exit clean —
+# no lease files left for peers to probe and steal.  Every Lease
+# registers itself here on creation and deregisters on release; the
+# signal path calls release_held() to drop whatever this process still
+# holds.  Keyed by pid so a forked worker, which inherits the parent's
+# registry contents, can neither release nor double-count the parent's
+# leases.
+
+_held_lock = threading.Lock()
+_held: dict[int, list["Lease"]] = {}
+
+
+def _register_held(lease: "Lease") -> None:
+    with _held_lock:
+        _held.setdefault(os.getpid(), []).append(lease)
+
+
+def _unregister_held(lease: "Lease") -> None:
+    with _held_lock:
+        entries = _held.get(os.getpid())
+        if entries is not None:
+            try:
+                entries.remove(lease)
+            except ValueError:
+                pass
+
+
+def held_leases() -> list["Lease"]:
+    """The leases this process currently holds (registration order)."""
+    with _held_lock:
+        return list(_held.get(os.getpid(), ()))
+
+
+def release_held() -> int:
+    """Release every lease this process still holds; returns the count.
+
+    Used by the interrupt path: after this, no peer can block on (or
+    have to steal) a claim the dying sweep will never honour.
+    """
+    released = 0
+    for lease in held_leases():
+        lease.release()
+        released += 1
+    return released
 
 
 class FileLock:
@@ -221,9 +275,11 @@ class Lease:
     def __init__(self, path: Path, owner: dict) -> None:
         self.path = path
         self.owner = owner
+        _register_held(self)
 
     def release(self) -> None:
         """Drop the claim (only if this process still owns it)."""
+        _unregister_held(self)
         try:
             owner = json.loads(self.path.read_text())
         except (OSError, ValueError):
@@ -394,18 +450,53 @@ class WorkClaims:
         return released
 
 
+class DecorrelatedJitter:
+    """Decorrelated-jitter poll delays: ``uniform(base, 3 * prev)``, capped.
+
+    N waiters released by one event (a lease holder publishing, a lock
+    holder exiting) all wake on the same fixed-interval grid and hit
+    the shared file together; randomizing each waiter's next delay
+    against its *previous* one spreads the herd while keeping the mean
+    delay near the base.  The default cap of ``8 * base`` bounds how
+    far a waiter can drift from the condition it is watching.
+    """
+
+    def __init__(self, base: float, cap: float | None = None,
+                 rng: random.Random | None = None) -> None:
+        if base < 0.0:
+            raise ValueError(f"jitter base must be >= 0, got {base:g}")
+        self.base = base
+        # base 0 degenerates to busy-polling with zero delays, which is
+        # what callers passing poll=0 (tests with injected sleeps) want
+        self.cap = cap if cap is not None else base * 8.0
+        self._rng = rng if rng is not None else random.Random()
+        self._prev = base
+
+    def next_delay(self) -> float:
+        self._prev = min(self.cap,
+                         self._rng.uniform(self.base, self._prev * 3.0))
+        return self._prev
+
+
 def wait_for(predicate: Callable[[], bool], *, timeout: float,
              poll: float = 0.05, what: str = "condition",
              clock: Callable[[], float] = time.monotonic,
-             sleep: Callable[[float], None] = time.sleep) -> None:
+             sleep: Callable[[float], None] = time.sleep,
+             rng: random.Random | None = None) -> None:
     """Poll ``predicate`` until true or ``timeout`` elapses.
 
     Raises :class:`LeaseTimeoutError` (transient — the scheduler
     retries) on expiry; used by lease waiters blocking on a winner's
-    artifact.
+    artifact.  Delays between probes follow
+    :class:`DecorrelatedJitter` (base ``poll``) so concurrent waiters
+    released by one holder do not stampede the lease in lockstep; each
+    delay is clamped to the time remaining, so the total sleep never
+    drifts past ``timeout``.
     """
     deadline = clock() + timeout
+    jitter = DecorrelatedJitter(poll, rng=rng)
     while not predicate():
-        if clock() >= deadline:
+        remaining = deadline - clock()
+        if remaining <= 0.0:
             raise LeaseTimeoutError(what, timeout)
-        sleep(poll)
+        sleep(min(jitter.next_delay(), remaining))

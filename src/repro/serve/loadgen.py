@@ -1,0 +1,120 @@
+"""Load generator: N concurrent clients against one job server.
+
+Drives the BENCH-tracked ``serve.sweeps_per_s`` metric and the CI smoke
+test.  Two request mixes:
+
+* ``duplicate`` — every client submits the *same* request; the server
+  must collapse them onto one compute (the dedup acceptance criterion),
+  so throughput here measures request-hash arbitration, not the
+  pipeline.
+* ``distinct`` — every client perturbs the seed, forcing one compute
+  each; throughput here measures the worker tier end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.client import ServeClient
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """What N clients saw, plus wall-clock throughput."""
+
+    clients: int = 0
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    #: job_id -> set of distinct result bodies observed (dedup check:
+    #: every set must have exactly one element)
+    bodies: dict[str, set[str]] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def sweeps_per_s(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def byte_identical(self) -> bool:
+        return all(len(texts) == 1 for texts in self.bodies.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "sweeps_per_s": round(self.sweeps_per_s, 3),
+            "distinct_jobs": len(self.bodies),
+            "byte_identical": self.byte_identical,
+            "errors": self.errors[:10],
+        }
+
+
+def run_load(port: int, request: dict, *, clients: int = 8,
+             mode: str = "duplicate", host: str = "127.0.0.1",
+             timeout: float = 300.0) -> LoadReport:
+    """Fire ``clients`` concurrent submissions and wait them all out."""
+    if mode not in ("duplicate", "distinct"):
+        raise ValueError(f"unknown load mode: {mode!r}")
+    report = LoadReport(clients=clients)
+    lock = threading.Lock()
+
+    def one_client(index: int) -> None:
+        client = ServeClient(host, port, client_id=f"loadgen-{index}",
+                             timeout=timeout)
+        body = dict(request)
+        if mode == "distinct":
+            body["seed"] = int(body.get("seed", 17)) + index
+        with lock:
+            report.submitted += 1
+        try:
+            status, payload = client.submit(body)
+            if status == 429:
+                with lock:
+                    report.rejected += 1
+                return
+            if status != 202:
+                raise RuntimeError(f"submit -> {status}: {payload}")
+            with lock:
+                report.accepted += 1
+            job_id = payload["job_id"]
+            final = client.wait(job_id, timeout=timeout)
+            if final.get("state") != "done":
+                raise RuntimeError(
+                    f"job {job_id} ended {final.get('state')}: "
+                    f"{final.get('error')}")
+            status, text = client.result_text(job_id)
+            if status != 200:
+                raise RuntimeError(f"result -> {status}")
+            with lock:
+                report.completed += 1
+                report.bodies.setdefault(job_id, set()).add(text)
+        except Exception as exc:
+            with lock:
+                report.failed += 1
+                report.errors.append(f"client {index}: {exc}")
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=one_client, args=(index,),
+                                name=f"loadgen-{index}")
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report

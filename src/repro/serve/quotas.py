@@ -1,0 +1,125 @@
+"""Per-client admission control: token-bucket rates + concurrency caps.
+
+The server is a shared resource in front of an expensive pipeline; one
+greedy (or buggy) client must not starve the rest.  Admission is
+decided per *client id* (self-declared, like a user agent — this is a
+local trust domain, not an auth system) in two independent dimensions:
+
+* a :class:`TokenBucket` bounds the *submission rate* — sustained
+  ``rate`` requests/s with bursts up to ``burst``;
+* a concurrent-job quota bounds how many unfinished jobs one client
+  may have in flight at once (attaching to an existing deduplicated
+  job still counts — the quota meters demanded *results*, not spawned
+  computes).
+
+Both refusals surface as 429 responses with a machine-readable
+``reason``, and are counted per client so the dedup test can assert
+exact accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["ClientQuotas", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst:g}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        now = self._clock()
+        return min(self.burst,
+                   self._tokens + (now - self._last) * self.rate)
+
+
+class ClientQuotas:
+    """Thread-safe per-client admission ledger."""
+
+    def __init__(self, *, rate: float = 10.0, burst: float = 20.0,
+                 max_client_jobs: int = 4,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_client_jobs = max_client_jobs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+        self._rejections: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def admit(self, client: str) -> str | None:
+        """``None`` to admit, else the machine-readable refusal reason.
+
+        An admitted submission charges one token *and* one in-flight
+        slot; callers must pair every admit with a :meth:`release` when
+        the client's interest in the job ends.
+        """
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst,
+                                     clock=self._clock)
+                self._buckets[client] = bucket
+            if not bucket.try_take():
+                self._count_rejection(client, "rate-limited")
+                return "rate-limited"
+            if self._inflight.get(client, 0) >= self.max_client_jobs:
+                self._count_rejection(client, "quota-exceeded")
+                return "quota-exceeded"
+            self._inflight[client] = self._inflight.get(client, 0) + 1
+            return None
+
+    def release(self, client: str) -> None:
+        """Return one in-flight slot (job finished or was cancelled)."""
+        with self._lock:
+            count = self._inflight.get(client, 0)
+            if count <= 1:
+                self._inflight.pop(client, None)
+            else:
+                self._inflight[client] = count - 1
+
+    def _count_rejection(self, client: str, reason: str) -> None:
+        per_client = self._rejections.setdefault(client, {})
+        per_client[reason] = per_client.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def inflight(self, client: str) -> int:
+        with self._lock:
+            return self._inflight.get(client, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-able accounting: in-flight and rejections per client."""
+        with self._lock:
+            return {
+                "inflight": dict(self._inflight),
+                "rejections": {client: dict(reasons) for client, reasons
+                               in self._rejections.items()},
+            }

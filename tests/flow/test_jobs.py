@@ -1,0 +1,93 @@
+"""Job-shaped entry points: JobRequest -> result document."""
+
+import json
+
+import pytest
+
+from repro.flow.jobs import JobLimits, run_job
+from repro.flow.sweep import SweepRunner
+from repro.serve.protocol import JobRequest
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return tmp_path_factory.mktemp("jobs-cache")
+
+
+class TestJobLimits:
+    def test_defaults(self):
+        limits = JobLimits()
+        assert limits.jobs_cap == 1
+        assert limits.policy() is None
+
+    def test_retries_become_a_policy(self):
+        limits = JobLimits(retries=2)
+        assert limits.policy().max_attempts == 3
+
+    def test_jobs_cap_floors_at_one(self):
+        assert JobLimits(jobs_cap=0).jobs_cap == 1
+
+
+class TestSweepJob:
+    def test_document_shape(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "sweep", "scale": 0.05, "workloads": ["sha"],
+             "configs": ["SmallBOOM"]})
+        document = run_job(request, cache)
+        assert document["kind"] == "sweep"
+        assert document["ok"] is True
+        assert list(document["results"]) == ["sha/SmallBOOM"]
+        assert document["manifest"]["experiments"] == 1
+        assert "summary" in document
+        json.dumps(document)  # strictly JSON-able
+
+    def test_request_round_trips_in_document(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "sweep", "scale": 0.05, "workloads": ["sha"],
+             "configs": ["SmallBOOM"]})
+        document = run_job(request, cache)
+        assert JobRequest.from_dict(document["request"]) == request
+
+    def test_runner_hook_sees_the_runner(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "sweep", "scale": 0.05, "workloads": ["sha"],
+             "configs": ["SmallBOOM"]})
+        seen = {}
+        run_job(request, cache,
+                runner_hook=lambda runner: seen.update(runner=runner))
+        assert isinstance(seen["runner"], SweepRunner)
+        assert seen["runner"].progress()["status"] == "complete"
+
+    def test_jobs_clamped_by_limits(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "sweep", "scale": 0.05, "workloads": ["sha"],
+             "configs": ["SmallBOOM"], "jobs": 64})
+        # would try to spawn 64 workers without the cap; with cap 1 it
+        # runs serially and still succeeds
+        document = run_job(request, cache, limits=JobLimits(jobs_cap=1))
+        assert document["ok"] is True
+
+
+class TestDseJob:
+    def test_document_shape(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "dse", "scale": 0.05, "workloads": ["sha"],
+             "points": 2, "base": "SmallBOOM"})
+        document = run_job(request, cache)
+        assert document["kind"] == "dse"
+        assert document["ok"] is True
+        frontier = document["frontier"]
+        assert frontier["points"]
+        json.dumps(document)
+
+    def test_same_request_same_document(self, cache):
+        request = JobRequest.from_dict(
+            {"kind": "dse", "scale": 0.05, "workloads": ["sha"],
+             "points": 2, "base": "SmallBOOM"})
+        first = run_job(request, cache)
+        second = run_job(request, cache)
+        # timing fields differ run to run; the scientific payload must
+        # be byte-identical
+        assert json.dumps(first["frontier"]["points"], sort_keys=True) \
+            == json.dumps(second["frontier"]["points"], sort_keys=True)
+        assert first["request"] == second["request"]

@@ -3,11 +3,14 @@
 import json
 import multiprocessing
 import os
+import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import LeaseTimeoutError, LockTimeoutError
 from repro.pipeline.locking import (
+    DecorrelatedJitter,
     FileLock,
     WorkClaims,
     _InProcessLease,
@@ -181,3 +184,85 @@ def test_wait_for_times_out_transiently():
         wait_for(lambda: False, timeout=0.05, poll=0.01,
                  what="peer artifact")
     assert "peer artifact" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# decorrelated jitter (anti-stampede polling)
+# ----------------------------------------------------------------------
+
+def test_jitter_rejects_negative_base():
+    with pytest.raises(ValueError):
+        DecorrelatedJitter(-0.1)
+
+
+def test_jitter_zero_base_degenerates_to_zero_delays():
+    jitter = DecorrelatedJitter(0.0)
+    assert [jitter.next_delay() for _ in range(5)] == [0.0] * 5
+
+
+@given(base=st.floats(min_value=1e-4, max_value=2.0),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_jitter_delays_stay_in_band(base, seed):
+    """Every delay lands in [base, cap] — bounded above and below."""
+    jitter = DecorrelatedJitter(base, rng=random.Random(seed))
+    for _ in range(50):
+        delay = jitter.next_delay()
+        assert base <= delay <= jitter.cap + 1e-12
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_jitter_spreads_waiters_apart(seed):
+    """Two waiters with different rng streams decorrelate: their delay
+    sequences must not stay in lock-step (the stampede the fixed
+    interval produced)."""
+    rng = random.Random(seed)
+    a = DecorrelatedJitter(0.05, rng=random.Random(rng.random()))
+    b = DecorrelatedJitter(0.05, rng=random.Random(rng.random()))
+    delays_a = [a.next_delay() for _ in range(20)]
+    delays_b = [b.next_delay() for _ in range(20)]
+    assert delays_a != delays_b
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_wait_for_total_sleep_never_overshoots_deadline(seed):
+    """The jittered waiter caps each sleep at the remaining budget, so
+    total sleep drift past the timeout is bounded (here: zero, with an
+    injected clock)."""
+    now = [0.0]
+    slept = [0.0]
+
+    def clock():
+        return now[0]
+
+    def sleep(seconds):
+        assert seconds >= 0.0
+        slept[0] += seconds
+        now[0] += seconds
+
+    timeout = 1.0
+    with pytest.raises(LeaseTimeoutError):
+        wait_for(lambda: False, timeout=timeout, poll=0.05,
+                 clock=clock, sleep=sleep,
+                 rng=random.Random(seed))
+    assert slept[0] <= timeout + 1e-9
+
+
+def test_wait_for_uses_injected_rng_deterministically():
+    def run_once():
+        sleeps = []
+        now = [0.0]
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            now[0] += seconds
+
+        with pytest.raises(LeaseTimeoutError):
+            wait_for(lambda: False, timeout=0.5, poll=0.05,
+                     clock=lambda: now[0], sleep=sleep,
+                     rng=random.Random(1234))
+        return sleeps
+
+    assert run_once() == run_once()

@@ -1,0 +1,1 @@
+"""Tests for the sweep-as-a-service job server."""

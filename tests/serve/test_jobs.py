@@ -1,0 +1,163 @@
+"""JobTable lifecycle: attach, settle, cancel, rollback."""
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobTable,
+)
+from repro.serve.protocol import JobRequest, request_hash
+
+REQUEST = JobRequest.from_dict({"scale": 0.5, "workloads": ["sha"]})
+OTHER = JobRequest.from_dict({"scale": 0.25, "workloads": ["sha"]})
+
+
+class TestSubmit:
+    def test_first_submission_creates(self):
+        table = JobTable()
+        job, created, settled = table.submit(REQUEST, "a")
+        assert created and not settled
+        assert job.id == request_hash(REQUEST)
+        assert job.state == QUEUED
+        assert table.counts()["created"] == 1
+
+    def test_identical_submission_attaches(self):
+        table = JobTable()
+        first, _, _ = table.submit(REQUEST, "a")
+        second, created, _ = table.submit(REQUEST, "b")
+        assert second is first and not created
+        assert first.clients == ["a", "b"]
+        counts = table.counts()
+        assert counts["jobs"] == 1
+        assert counts["created"] == 1
+        assert counts["deduped"] == 1
+
+    def test_distinct_requests_do_not_collide(self):
+        table = JobTable()
+        a, _, _ = table.submit(REQUEST, "a")
+        b, _, _ = table.submit(OTHER, "a")
+        assert a is not b
+        assert table.counts()["created"] == 2
+
+    def test_attach_to_done_job_reports_settled(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        table.mark_done(job, "{}")
+        same, created, settled = table.submit(REQUEST, "b")
+        assert same is job and not created and settled
+
+    def test_failed_job_is_replaced(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        table.mark_failed(job, "boom", "permanent")
+        fresh, created, settled = table.submit(REQUEST, "b")
+        assert created and not settled
+        assert fresh is not job
+        assert fresh.state == QUEUED
+
+
+class TestLifecycle:
+    def test_mark_running_flips_queued_only(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        assert table.mark_running(job)
+        assert job.state == RUNNING
+        assert not table.mark_running(job)
+
+    def test_mark_done_returns_settlement_snapshot(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.submit(REQUEST, "b")
+        table.mark_running(job)
+        settled = table.mark_done(job, '{"ok": true}')
+        assert sorted(settled) == ["a", "b"]
+        assert job.state == DONE
+        assert job.done_event.is_set()
+        assert job.result_text == '{"ok": true}'
+
+    def test_mark_failed_carries_taxonomy(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        table.mark_failed(job, "ValueError: nope", "permanent")
+        assert job.state == FAILED
+        status = job.status_dict()
+        assert status["error_kind"] == "permanent"
+
+
+class TestCancel:
+    def test_unknown_job(self):
+        table = JobTable()
+        assert table.cancel("deadbeef", "a") == (None, False)
+
+    def test_last_subscriber_cancels_queued_job(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        _, removed = table.cancel(job.id, "a")
+        assert removed
+        assert job.state == CANCELLED
+        assert job.done_event.is_set()
+
+    def test_remaining_subscribers_keep_job_alive(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.submit(REQUEST, "b")
+        _, removed = table.cancel(job.id, "a")
+        assert removed
+        assert job.state == QUEUED
+        assert job.clients == ["b"]
+
+    def test_running_job_gets_flag_not_cancel(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        _, removed = table.cancel(job.id, "a")
+        assert removed
+        assert job.state == RUNNING
+        assert job.cancel_requested
+
+    def test_non_subscriber_cancel_is_noop(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        _, removed = table.cancel(job.id, "stranger")
+        assert not removed
+        assert job.state == QUEUED
+
+    def test_cancel_after_done_releases_nothing(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        table.mark_done(job, "{}")
+        _, removed = table.cancel(job.id, "a")
+        assert not removed  # settlement already returned the slot
+        assert job.state == DONE
+
+
+class TestDrainHelpers:
+    def test_cancel_queued_settles_subscribers(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.submit(REQUEST, "b")
+        assert sorted(table.cancel_queued(job)) == ["a", "b"]
+        assert job.state == CANCELLED
+
+    def test_cancel_queued_ignores_running(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        table.mark_running(job)
+        assert table.cancel_queued(job) == []
+        assert job.state == RUNNING
+
+    def test_discard_rolls_back_created_accounting(self):
+        table = JobTable()
+        job, _, _ = table.submit(REQUEST, "a")
+        assert table.discard(job) == ["a"]
+        assert table.counts()["created"] == 0
+        assert table.get(job.id) is None
+        # a later identical submission starts clean
+        again, created, _ = table.submit(REQUEST, "a")
+        assert created and again is not job

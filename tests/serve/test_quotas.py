@@ -1,0 +1,96 @@
+"""Token-bucket rates and per-client concurrency quotas."""
+
+import pytest
+
+from repro.serve.quotas import ClientQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 1 token back
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_burst_below_one_rejected(self):
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestClientQuotas:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(rate=100.0, burst=100.0, max_client_jobs=2,
+                        clock=clock)
+        defaults.update(kwargs)
+        return ClientQuotas(**defaults), clock
+
+    def test_admit_charges_a_slot(self):
+        quotas, _ = self.make()
+        assert quotas.admit("a") is None
+        assert quotas.inflight("a") == 1
+
+    def test_concurrency_cap(self):
+        quotas, _ = self.make(max_client_jobs=2)
+        assert quotas.admit("a") is None
+        assert quotas.admit("a") is None
+        assert quotas.admit("a") == "quota-exceeded"
+        quotas.release("a")
+        assert quotas.admit("a") is None
+
+    def test_rate_limit_reason(self):
+        quotas, _ = self.make(rate=1.0, burst=1.0, max_client_jobs=99)
+        assert quotas.admit("a") is None
+        assert quotas.admit("a") == "rate-limited"
+
+    def test_clients_are_independent(self):
+        quotas, _ = self.make(max_client_jobs=1)
+        assert quotas.admit("a") is None
+        assert quotas.admit("b") is None
+        assert quotas.admit("a") == "quota-exceeded"
+
+    def test_rejection_accounting(self):
+        quotas, _ = self.make(max_client_jobs=1)
+        quotas.admit("a")
+        quotas.admit("a")
+        quotas.admit("a")
+        snapshot = quotas.snapshot()
+        assert snapshot["rejections"]["a"]["quota-exceeded"] == 2
+        assert snapshot["inflight"]["a"] == 1
+
+    def test_release_floors_at_zero(self):
+        quotas, _ = self.make()
+        quotas.release("ghost")
+        assert quotas.inflight("ghost") == 0
+
+    def test_rate_rejection_does_not_consume_a_slot(self):
+        quotas, _ = self.make(rate=1.0, burst=1.0, max_client_jobs=1)
+        assert quotas.admit("a") is None
+        assert quotas.admit("a") == "rate-limited"
+        assert quotas.inflight("a") == 1

@@ -370,3 +370,71 @@ def test_bench_trend_via_cli(capsys, tmp_path):
     assert code == 0
     assert "core.batched.cycles_per_s" in out
     assert "2.00" in out
+
+
+# ----------------------------------------------------------------------
+# top-level failure handler: taxonomy-coded one-liners, distinct codes
+# ----------------------------------------------------------------------
+
+def test_unexpected_error_is_one_line_not_a_traceback(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path),
+                 "run", "sha", "NoSuchBOOM"])
+    captured = capsys.readouterr()
+    from repro.errors import EXIT_PERMANENT
+    assert code == EXIT_PERMANENT
+    assert "repro-cli: error[permanent/" in captured.err
+    assert "Traceback" not in captured.err
+    assert "--verbose" in captured.err  # points at the escape hatch
+
+
+def test_verbose_restores_the_traceback(capsys, tmp_path):
+    code = main(["--verbose", "--cache-dir", str(tmp_path),
+                 "run", "sha", "NoSuchBOOM"])
+    captured = capsys.readouterr()
+    from repro.errors import EXIT_PERMANENT
+    assert code == EXIT_PERMANENT
+    assert "Traceback" in captured.err
+
+
+def test_transient_failure_gets_its_own_exit_code(capsys):
+    from repro.cli import _report_failure
+    from repro.errors import EXIT_TRANSIENT, TransientError
+
+    code = _report_failure(TransientError("flaky io"), verbose=False)
+    captured = capsys.readouterr()
+    assert code == EXIT_TRANSIENT
+    assert "error[transient/TransientError]: flaky io" in captured.err
+
+
+def test_interrupt_report_names_signal_and_resume(capsys):
+    from repro.cli import _report_failure
+    from repro.errors import EXIT_INTERRUPTED, SweepInterrupted
+
+    code = _report_failure(SweepInterrupted("SIGTERM"), verbose=False)
+    captured = capsys.readouterr()
+    assert code == EXIT_INTERRUPTED
+    assert "interrupted by SIGTERM" in captured.err
+    assert "--resume" in captured.err
+
+
+def test_keyboard_interrupt_maps_to_interrupted(capsys):
+    from repro.cli import _report_failure
+    from repro.errors import EXIT_INTERRUPTED
+
+    assert _report_failure(KeyboardInterrupt(), verbose=False) == \
+        EXIT_INTERRUPTED
+    capsys.readouterr()
+
+
+def test_usage_errors_still_exit_two():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--no-such-flag"])
+    assert excinfo.value.code == 2
+
+
+def test_sweep_rejects_unknown_workload(capsys, tmp_path):
+    code = main(["--cache-dir", str(tmp_path),
+                 "sweep", "--workloads", "sha", "nonesuch"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown workload(s): nonesuch" in captured.err
